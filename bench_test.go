@@ -1,0 +1,353 @@
+package specrt_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (regenerating the corresponding experiment at Quick scale),
+// the ablations, and micro-benchmarks of the library's hot paths. Run
+// with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks measure the cost of regenerating the experiment;
+// the experiment results themselves are printed by cmd/specrt and
+// recorded in EXPERIMENTS.md.
+
+import (
+	"strings"
+	"testing"
+
+	"specrt"
+
+	"specrt/internal/core"
+	"specrt/internal/harness"
+	"specrt/internal/lrpd"
+	"specrt/internal/machine"
+	"specrt/internal/mem"
+	"specrt/internal/run"
+	"specrt/internal/sim"
+)
+
+// ----- Table §5.1 -----
+
+func BenchmarkTableLatencies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := specrt.MeasureLatencies()
+		if rows[0].Measured != 1 {
+			b.Fatal("latency probe wrong")
+		}
+	}
+}
+
+// ----- Figure 11: loop speedups -----
+
+func benchLoopMode(b *testing.B, name string, mode run.Mode) {
+	b.Helper()
+	h := harness.New(harness.Quick)
+	procs := 16
+	if name == "Ocean" {
+		procs = 8
+	}
+	if mode == run.Serial {
+		procs = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hh := harness.New(h.Scale)
+		r := hh.Result(name, mode, procs)
+		if r.Cycles == 0 {
+			b.Fatal("no cycles")
+		}
+	}
+}
+
+func BenchmarkFig11OceanHW(b *testing.B) { benchLoopMode(b, "Ocean", run.HW) }
+func BenchmarkFig11OceanSW(b *testing.B) { benchLoopMode(b, "Ocean", run.SW) }
+func BenchmarkFig11P3mHW(b *testing.B)   { benchLoopMode(b, "P3m", run.HW) }
+func BenchmarkFig11P3mSW(b *testing.B)   { benchLoopMode(b, "P3m", run.SW) }
+func BenchmarkFig11AdmHW(b *testing.B)   { benchLoopMode(b, "Adm", run.HW) }
+func BenchmarkFig11AdmSW(b *testing.B)   { benchLoopMode(b, "Adm", run.SW) }
+func BenchmarkFig11TrackHW(b *testing.B) { benchLoopMode(b, "Track", run.HW) }
+func BenchmarkFig11TrackSW(b *testing.B) { benchLoopMode(b, "Track", run.SW) }
+
+func BenchmarkFig11Full(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.New(harness.Quick).Fig11()
+		if len(res.Rows) != 4 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// ----- Figure 12: breakdowns -----
+
+func BenchmarkFig12Full(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.New(harness.Quick).Fig12()
+		if len(res.Bars) != 16 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// ----- Figure 13: forced failures -----
+
+func BenchmarkFig13Full(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.New(harness.Quick).Fig13()
+		if len(res.Rows) != 4 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// ----- Figure 14: scalability -----
+
+func BenchmarkFig14Full(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := harness.New(harness.Quick).Fig14()
+		if len(res.Series) != 3 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// ----- Ablations -----
+
+func BenchmarkAblationTrackChunks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.New(harness.Quick).AblationTrackChunks()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkAblationBitGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.New(harness.Quick).AblationBitGranularity()
+		if len(rows) != 2 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkAblationReadIn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.New(harness.Quick).AblationReadIn()
+		if len(rows) != 2 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// ----- Library micro-benchmarks -----
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := sim.NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1, func() {})
+		e.Step()
+	}
+}
+
+func benchMachine(procs int) *machine.Machine {
+	cfg := machine.DefaultConfig(procs)
+	cfg.Contention = true
+	return machine.MustNew(cfg)
+}
+
+func BenchmarkPlainReadHit(b *testing.B) {
+	m := benchMachine(2)
+	r := m.Space.Alloc("A", 1024, 4, mem.Local, 0)
+	m.Read(0, r.ElemAddr(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Read(0, r.ElemAddr(0))
+	}
+}
+
+func BenchmarkPlainReadMissRemote(b *testing.B) {
+	m := benchMachine(2)
+	r := m.Space.Alloc("A", 1<<20, 4, mem.Local, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Read(0, r.ElemAddr((i*16)%(1<<20)))
+	}
+}
+
+func BenchmarkNonPrivReadHit(b *testing.B) {
+	m := benchMachine(2)
+	c := core.NewController(m)
+	r := m.Space.Alloc("A", 1024, 4, mem.RoundRobin, 0)
+	c.AddNonPriv(r)
+	c.Arm()
+	c.Read(0, r.ElemAddr(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(0, r.ElemAddr(0))
+	}
+}
+
+func BenchmarkNonPrivWriteMiss(b *testing.B) {
+	m := benchMachine(2)
+	c := core.NewController(m)
+	r := m.Space.Alloc("A", 1<<20, 4, mem.RoundRobin, 0)
+	c.AddNonPriv(r)
+	c.Arm()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(0, r.ElemAddr((i*16)%(1<<20))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrivReadWrite(b *testing.B) {
+	m := benchMachine(2)
+	c := core.NewController(m)
+	r := m.Space.Alloc("A", 4096, 4, mem.RoundRobin, 0)
+	c.AddPriv(r, true)
+	c.Arm()
+	c.BeginIteration(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := i % 4096
+		if _, err := c.Write(0, r.ElemAddr(e)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Read(0, r.ElemAddr(e)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLRPDMarkAnalyze(b *testing.B) {
+	ops := make([]lrpd.Op, 0, 4096)
+	for i := 0; i < 1024; i++ {
+		ops = append(ops,
+			lrpd.Op{Iter: i, Elem: i % 512, Write: true},
+			lrpd.Op{Iter: i, Elem: i % 512},
+			lrpd.Op{Iter: i, Elem: (i + 7) % 512},
+			lrpd.Op{Iter: i, Elem: (i + 13) % 512, Write: true})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := lrpd.TestWithReadIn(512, ops)
+		_ = res
+	}
+}
+
+func BenchmarkSpeculativeDoAllParallelLoop(b *testing.B) {
+	data := make([]float64, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := specrt.SpeculativeDoAll(data, 4096, 4, func(j int, v *specrt.View[float64]) {
+			v.Write(j, v.Read(j)+1)
+		})
+		if out.Reexecuted {
+			b.Fatal("parallel loop reexecuted")
+		}
+	}
+}
+
+func BenchmarkWorkloadSimulationThroughput(b *testing.B) {
+	// Cycles simulated per wall second for a representative HW run.
+	w := harness.New(harness.Quick)
+	_ = w
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		r := run.MustExecute(pickAdm(), run.Config{
+			Procs: 16, Mode: run.HW, Contention: true, MaxExecutions: 1,
+		})
+		cycles += r.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/op")
+}
+
+func pickAdm() *run.Workload {
+	for _, w := range specrt.PaperLoops() {
+		if w.Name == "Adm" {
+			return w
+		}
+	}
+	panic("no Adm")
+}
+
+// ----- Feature benchmarks (extensions beyond the figures) -----
+
+func BenchmarkEpochSynchronization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.New(harness.Quick).AblationEpochs()
+		if rows[0].Failures != 0 {
+			b.Fatal("epoch ablation failed")
+		}
+	}
+}
+
+func BenchmarkSparseBackup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.New(harness.Quick).AblationSparseBackup()
+		if len(rows) != 2 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkStateCosts(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := specrt.StateCosts(16, 1<<16, true)
+		if len(rows) != 3 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkTraceParse(b *testing.B) {
+	doc := `{"arrays": [{"name":"A","elems":64,"elemSize":4,"test":"nonpriv"}],
+	         "iterations": [[{"op":"compute","cycles":10},{"op":"store","array":0,"elem":3}]]}`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := specrt.ParseTrace(strings.NewReader(doc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationAdaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.New(harness.Quick).AblationAdaptive()
+		if len(rows) != 4 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkAblationWriteStall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.New(harness.Quick).AblationWriteStall()
+		if len(rows) != 2 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkAblationDirectoryOccupancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.New(harness.Quick).AblationDirectoryOccupancy()
+		if len(rows) != 3 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkAblationPrivGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.New(harness.Quick).AblationPrivGranularity()
+		if len(rows) != 4 {
+			b.Fatal("bad rows")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command lrpdtest applies the software LRPD test (§2.2.2, with the
+// §2.2.3 read-in extension) to an access trace supplied as JSON on stdin
+// or in a file.
+//
+// Input format:
+//
+//	{
+//	  "elems": 8,
+//	  "privatized": true,
+//	  "readIn": true,
+//	  "ops": [
+//	    {"iter": 0, "elem": 3, "write": false},
+//	    {"iter": 1, "elem": 3, "write": true}
+//	  ]
+//	}
+//
+// The verdict (doall / doall-with-privatization / not-parallel) and the
+// shadow-array summary are printed. Exit status 1 means not parallel.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"specrt/internal/lrpd"
+)
+
+type input struct {
+	Elems      int  `json:"elems"`
+	Privatized bool `json:"privatized"`
+	ReadIn     bool `json:"readIn"`
+	Ops        []struct {
+		Iter  int  `json:"iter"`
+		Elem  int  `json:"elem"`
+		Write bool `json:"write"`
+	} `json:"ops"`
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [trace.json]  (reads stdin when no file given)\n", os.Args[0])
+	}
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	var in input
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		fmt.Fprintf(os.Stderr, "lrpdtest: bad input: %v\n", err)
+		os.Exit(2)
+	}
+	if in.Elems <= 0 {
+		fmt.Fprintln(os.Stderr, "lrpdtest: elems must be positive")
+		os.Exit(2)
+	}
+	ops := make([]lrpd.Op, len(in.Ops))
+	for i, o := range in.Ops {
+		if o.Elem < 0 || o.Elem >= in.Elems {
+			fmt.Fprintf(os.Stderr, "lrpdtest: op %d: elem %d out of range\n", i, o.Elem)
+			os.Exit(2)
+		}
+		ops[i] = lrpd.Op{Iter: o.Iter, Elem: o.Elem, Write: o.Write}
+	}
+
+	var res lrpd.Result
+	if in.ReadIn {
+		res = lrpd.TestWithReadIn(in.Elems, ops)
+	} else {
+		res = lrpd.Test(in.Elems, ops, in.Privatized)
+	}
+
+	fmt.Printf("verdict: %v\n", res.Verdict)
+	fmt.Printf("Atw (per-iteration distinct writes): %d\n", res.Atw)
+	fmt.Printf("Atm (distinct elements written):     %d\n", res.Atm)
+	if res.FailedElem >= 0 {
+		fmt.Printf("first failing element: %d\n", res.FailedElem)
+	}
+	if res.Verdict == lrpd.NotParallel {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,97 @@
+// Command specrt runs the paper-reproduction experiments: the §5.1
+// latency table, Figures 11-14, and the ablations.
+//
+// Usage:
+//
+//	specrt [-scale quick|default|paper] [latencies|fig11|fig12|fig13|fig14|ablations|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specrt/internal/core"
+	"specrt/internal/harness"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "default", "experiment scale: quick, default or paper")
+	formatFlag := flag.String("format", "table", "output format: table or csv (csv for latencies/fig11..fig14 only)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-scale quick|default|paper] [latencies|fig11|fig12|fig13|fig14|stats|ablations|all]\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	sc, err := harness.ScaleByName(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	h := harness.New(sc)
+
+	cmd := "all"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	out := os.Stdout
+	csvMode := *formatFlag == "csv"
+	if *formatFlag != "table" && *formatFlag != "csv" {
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *formatFlag)
+		os.Exit(2)
+	}
+	checkCSV := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	switch cmd {
+	case "latencies":
+		if csvMode {
+			checkCSV(harness.WriteLatenciesCSV(out))
+			return
+		}
+		harness.PrintLatencies(out)
+	case "fig11":
+		if csvMode {
+			checkCSV(h.Fig11().WriteCSV(out))
+			return
+		}
+		h.PrintFig11(out)
+	case "fig12":
+		if csvMode {
+			checkCSV(h.Fig12().WriteCSV(out))
+			return
+		}
+		h.PrintFig12(out)
+		h.PrintFig12Bars(out)
+	case "fig13":
+		if csvMode {
+			checkCSV(h.Fig13().WriteCSV(out))
+			return
+		}
+		h.PrintFig13(out)
+		h.PrintFig13Bars(out)
+	case "fig14":
+		if csvMode {
+			checkCSV(h.Fig14().WriteCSV(out))
+			return
+		}
+		h.PrintFig14(out)
+	case "stats":
+		h.PrintProtoStats(out)
+		core.PrintStateCosts(out, 16, 1<<16)
+	case "ablations":
+		h.Ablations(out)
+	case "all":
+		h.All(out)
+		h.PrintProtoStats(out)
+		core.PrintStateCosts(out, 16, 1<<16)
+		h.Ablations(out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

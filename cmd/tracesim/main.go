@@ -1,0 +1,102 @@
+// Command tracesim simulates a JSON-described loop (see internal/trace
+// for the format) under the Serial, Ideal, SW and HW schemes and prints
+// speedups, failure outcomes and time breakdowns.
+//
+// Usage:
+//
+//	tracesim [-procs N] [-modes Serial,Ideal,SW,HW] trace.json
+//
+// Reads stdin when no file is given. Exit status 1 if any speculative
+// scheme failed (the loop is not parallel as scheduled).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"specrt/internal/run"
+	"specrt/internal/trace"
+)
+
+func main() {
+	procs := flag.Int("procs", 8, "processors for the parallel schemes")
+	modesFlag := flag.String("modes", "Serial,Ideal,SW,HW", "comma-separated schemes to run")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-procs N] [-modes Serial,Ideal,SW,HW] [trace.json]\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r = f
+	}
+	w, err := trace.Parse(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	modeByName := map[string]run.Mode{
+		"serial": run.Serial, "ideal": run.Ideal, "sw": run.SW, "hw": run.HW,
+	}
+	var modes []run.Mode
+	for _, name := range strings.Split(*modesFlag, ",") {
+		m, ok := modeByName[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tracesim: unknown mode %q\n", name)
+			os.Exit(2)
+		}
+		modes = append(modes, m)
+	}
+
+	var serial *run.Result
+	anyFailed := false
+	failNote := ""
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tprocs\tcycles\tspeedup\tBusy\tMem\tSync\tfailures")
+	for _, mode := range modes {
+		p := *procs
+		if mode == run.Serial {
+			p = 1
+		}
+		res, err := run.Execute(w, run.Config{Procs: p, Mode: mode, Contention: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if mode == run.Serial {
+			serial = res
+		}
+		speed := "-"
+		if serial != nil && mode != run.Serial {
+			speed = fmt.Sprintf("%.2f", run.Speedup(serial, res))
+		}
+		b := res.Breakdown
+		fmt.Fprintf(tw, "%v\t%d\t%d\t%s\t%d\t%d\t%d\t%d\n",
+			mode, p, res.Cycles, speed, b.Busy, b.Mem, b.Sync, res.Failures)
+		if res.Failures > 0 {
+			anyFailed = true
+			if res.FirstFailure != nil {
+				failNote = res.FirstFailure.Error()
+			}
+		}
+	}
+	tw.Flush()
+	if failNote != "" {
+		fmt.Println("first failure:", failNote)
+	}
+	if anyFailed {
+		os.Exit(1)
+	}
+}

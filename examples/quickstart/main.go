@@ -1,0 +1,46 @@
+// Quickstart: simulate one of the paper's loops under the Serial
+// baseline, the software LRPD scheme, and the hardware scheme, and print
+// the speedups — the smallest end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+
+	"specrt"
+)
+
+func main() {
+	// Ocean: the FFT loop ftrvmt.do109 (§5.2), 8 processors.
+	var ocean *specrt.Workload
+	for _, w := range specrt.PaperLoops() {
+		if w.Name == "Ocean" {
+			ocean = w
+		}
+	}
+	procs := specrt.PaperLoopProcs(ocean.Name)
+
+	cfg := func(mode specrt.Mode, p int) specrt.Config {
+		return specrt.Config{
+			Procs:         p,
+			Mode:          mode,
+			Contention:    true,
+			MaxExecutions: 4, // of Ocean's 4129 loop executions
+		}
+	}
+
+	serial := specrt.MustExecute(ocean, cfg(specrt.Serial, 1))
+	sw := specrt.MustExecute(ocean, cfg(specrt.SW, procs))
+	hw := specrt.MustExecute(ocean, cfg(specrt.HW, procs))
+
+	fmt.Printf("%s on %d processors (%d loop executions)\n",
+		ocean.Name, procs, serial.Executions)
+	fmt.Printf("  Serial: %12d cycles\n", serial.Cycles)
+	fmt.Printf("  SW    : %12d cycles  speedup %.2f\n", sw.Cycles, specrt.Speedup(serial, sw))
+	fmt.Printf("  HW    : %12d cycles  speedup %.2f\n", hw.Cycles, specrt.Speedup(serial, hw))
+	fmt.Printf("  HW is %.0f%% faster than SW (paper: ≈50%%)\n",
+		(float64(sw.Cycles)/float64(hw.Cycles)-1)*100)
+
+	if sw.Failures+hw.Failures > 0 {
+		fmt.Println("unexpected speculation failure — Ocean is fully parallel")
+	}
+}

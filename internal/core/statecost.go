@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+)
+
+// State-overhead model (§3.4, fourth advantage): the paper compares the
+// per-element overhead state of the software and hardware schemes.
+//
+//   - Software, iteration-wise: 3 shadow time stamps per element (read,
+//     write, non-privatization), or 4 when read-in is supported (the
+//     extra Awmin array of §2.2.3). Each time stamp holds an iteration
+//     number: ceil(log2(iters)) bits (the paper's example: 2 bytes per
+//     shadow element for loops of up to 2^16 iterations).
+//   - Hardware, directory side: the non-privatization protocol needs
+//     First (log2 P bits) + NoShr + ROnly; the privatization protocol
+//     needs 2 bits (Figure 5-(b)) without read-in, or two time stamps
+//     (MaxR1st, MinW) with read-in (Figure 5-(c)). A single physical
+//     memory serves both, so the cost is the maximum.
+//   - Hardware, cache side: 4 tag bits per word (First(2) + NoShr +
+//     ROnly, reused as Read1st/Write), independent of P and iters.
+
+// StateCost is one scheme's per-element overhead in bits.
+type StateCost struct {
+	Scheme string
+	Bits   float64
+}
+
+// log2ceil returns ceil(log2(n)) for n >= 1.
+func log2ceil(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// StateCosts returns the §3.4 per-element state comparison for a machine
+// with procs processors running loops of up to iters iterations.
+func StateCosts(procs, iters int, readIn bool) []StateCost {
+	ts := log2ceil(iters) // bits per time stamp
+	swStamps := 3.0
+	if readIn {
+		swStamps = 4
+	}
+	sw := swStamps * ts
+
+	npBits := 2 + log2ceil(procs) // First + NoShr + ROnly
+	var privBits float64 = 2      // Figure 5-(b)
+	if readIn {
+		privBits = 2 * ts // MaxR1st + MinW (Figure 5-(c))
+	}
+	hwDir := math.Max(npBits, privBits)
+
+	return []StateCost{
+		{Scheme: "software shadow arrays", Bits: sw},
+		{Scheme: "hardware directory state", Bits: hwDir},
+		{Scheme: "hardware cache tag bits (per word)", Bits: 4},
+	}
+}
+
+// PrintStateCosts renders the §3.4 comparison table.
+func PrintStateCosts(w io.Writer, procs, iters int) {
+	fmt.Fprintf(w, "State overhead per element (§3.4), %d processors, %d iterations\n", procs, iters)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\twithout read-in\twith read-in")
+	plain := StateCosts(procs, iters, false)
+	rico := StateCosts(procs, iters, true)
+	for i := range plain {
+		fmt.Fprintf(tw, "%s\t%.0f bits\t%.0f bits\n", plain[i].Scheme, plain[i].Bits, rico[i].Bits)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "paper: HW needs max(2, 2+log P) bits (or max(2 time stamps, 2+log P) with read-in);")
+	fmt.Fprintln(w, "       SW needs 3 (or 4) iteration-sized time stamps per element")
+	fmt.Fprintln(w)
+}

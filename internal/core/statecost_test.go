@@ -1,0 +1,75 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func costOf(rows []StateCost, scheme string) float64 {
+	for _, r := range rows {
+		if strings.HasPrefix(r.Scheme, scheme) {
+			return r.Bits
+		}
+	}
+	return -1
+}
+
+// The paper's worked example: loops of up to 2^16 iterations need 2-byte
+// shadow elements, i.e. 16 bits per time stamp; the software scheme then
+// pays 48 bits per element (3 stamps) without read-in.
+func TestStateCostsPaperExample(t *testing.T) {
+	rows := StateCosts(16, 1<<16, false)
+	if got := costOf(rows, "software"); got != 48 {
+		t.Fatalf("software bits = %v, want 48 (3 x 16-bit stamps)", got)
+	}
+	// Hardware: max(2+log2(16), 2) = 6 bits.
+	if got := costOf(rows, "hardware directory"); got != 6 {
+		t.Fatalf("hardware dir bits = %v, want 6", got)
+	}
+	rows = StateCosts(16, 1<<16, true)
+	if got := costOf(rows, "software"); got != 64 {
+		t.Fatalf("software read-in bits = %v, want 64 (4 stamps)", got)
+	}
+	// With read-in the hardware needs two 16-bit time stamps.
+	if got := costOf(rows, "hardware directory"); got != 32 {
+		t.Fatalf("hardware read-in dir bits = %v, want 32", got)
+	}
+}
+
+func TestStateCostsHardwareAlwaysSmaller(t *testing.T) {
+	for _, procs := range []int{4, 8, 16, 64} {
+		for _, iters := range []int{64, 1 << 10, 1 << 16} {
+			for _, rico := range []bool{false, true} {
+				rows := StateCosts(procs, iters, rico)
+				sw := costOf(rows, "software")
+				hw := costOf(rows, "hardware directory")
+				if hw > sw {
+					t.Fatalf("procs=%d iters=%d rico=%t: hw %v > sw %v",
+						procs, iters, rico, hw, sw)
+				}
+			}
+		}
+	}
+}
+
+func TestStateCostsDegenerate(t *testing.T) {
+	rows := StateCosts(1, 1, false)
+	if costOf(rows, "hardware directory") != 2 {
+		t.Fatalf("1-proc hw dir bits = %v, want 2", costOf(rows, "hardware directory"))
+	}
+	if costOf(rows, "software") != 0 {
+		t.Fatalf("1-iteration sw bits = %v, want 0", costOf(rows, "software"))
+	}
+}
+
+func TestPrintStateCosts(t *testing.T) {
+	var buf bytes.Buffer
+	PrintStateCosts(&buf, 16, 1<<16)
+	out := buf.String()
+	for _, want := range []string{"State overhead", "software", "hardware", "48", "6"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

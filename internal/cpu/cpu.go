@@ -1,0 +1,451 @@
+// Package cpu models the processors executing a (speculative) parallel
+// loop on the simulated machine. Processors execute instruction streams —
+// compute delays, loads, stores, lock and barrier operations — one
+// instruction per simulation event, and account their time in the paper's
+// three categories: executing instructions (Busy), synchronizing at locks
+// or barriers (Sync), and waiting for data from the memory system (Mem)
+// (§6.1, Figure 12).
+package cpu
+
+import (
+	"fmt"
+
+	"specrt/internal/core"
+	"specrt/internal/machine"
+	"specrt/internal/mem"
+	"specrt/internal/sim"
+)
+
+// Kind is an instruction opcode.
+type Kind uint8
+
+const (
+	// KCompute spends Cycles cycles of pure computation.
+	KCompute Kind = iota
+	// KLoad reads Addr through the memory system.
+	KLoad
+	// KStore writes Addr; stores do not stall the processor.
+	KStore
+	// KLockAcq acquires lock ID (blocking).
+	KLockAcq
+	// KLockRel releases lock ID.
+	KLockRel
+	// KBarrier joins barrier ID and blocks until all participants
+	// arrive.
+	KBarrier
+	// KBeginIter starts (super-)iteration ID on this processor: the
+	// speculation hardware clears per-iteration tag bits (§4.1).
+	KBeginIter
+	// KException models a run-time exception during speculative
+	// execution (§2.2: the execution is aborted and restarted
+	// serially).
+	KException
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KCompute:
+		return "compute"
+	case KLoad:
+		return "load"
+	case KStore:
+		return "store"
+	case KLockAcq:
+		return "lockacq"
+	case KLockRel:
+		return "lockrel"
+	case KBarrier:
+		return "barrier"
+	case KBeginIter:
+		return "beginiter"
+	case KException:
+		return "exception"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Instr is one processor instruction. A flat struct (not an interface)
+// keeps instruction streams allocation-free.
+type Instr struct {
+	Kind   Kind
+	Cycles sim.Time // KCompute
+	Addr   mem.Addr // KLoad, KStore
+	ID     int      // lock/barrier ID, or iteration number for KBeginIter
+}
+
+// Convenience constructors.
+func Compute(cycles sim.Time) Instr { return Instr{Kind: KCompute, Cycles: cycles} }
+func Load(a mem.Addr) Instr         { return Instr{Kind: KLoad, Addr: a} }
+func Store(a mem.Addr) Instr        { return Instr{Kind: KStore, Addr: a} }
+func LockAcq(id int) Instr          { return Instr{Kind: KLockAcq, ID: id} }
+func LockRel(id int) Instr          { return Instr{Kind: KLockRel, ID: id} }
+func Barrier(id int) Instr          { return Instr{Kind: KBarrier, ID: id} }
+func BeginIter(iter int) Instr      { return Instr{Kind: KBeginIter, ID: iter} }
+func Exception() Instr              { return Instr{Kind: KException} }
+
+// Breakdown is a processor's time split into the paper's categories.
+type Breakdown struct {
+	Busy sim.Time
+	Mem  sim.Time
+	Sync sim.Time
+}
+
+// Total returns the accounted cycles.
+func (b Breakdown) Total() sim.Time { return b.Busy + b.Mem + b.Sync }
+
+// Add accumulates another breakdown.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Busy += o.Busy
+	b.Mem += o.Mem
+	b.Sync += o.Sync
+}
+
+// SyncCosts parameterize the lock and barrier implementations.
+type SyncCosts struct {
+	LockAcquire sim.Time // uncontended acquire (remote lock variable)
+	LockHandoff sim.Time // release-to-waiter transfer
+	BarrierCost sim.Time // per-processor barrier entry/exit overhead
+}
+
+// DefaultSyncCosts match a NUMA lock/barrier implemented over the
+// machine's remote-access latencies.
+func DefaultSyncCosts() SyncCosts {
+	return SyncCosts{LockAcquire: 30, LockHandoff: 40, BarrierCost: 40}
+}
+
+// Source supplies a processor's instruction stream lazily: it is called
+// when the processor is ready for its next instruction, so a source may
+// consult shared scheduling state (e.g. a dynamic iteration dispenser) at
+// the moment of the request. Returning ok=false ends the processor's
+// work.
+type Source func(p *Proc) (Instr, bool)
+
+// Proc is one executing processor.
+type Proc struct {
+	ID   int
+	B    Breakdown
+	Done bool
+
+	// Instrs counts executed instructions by kind.
+	Instrs [8]uint64
+
+	src     Source
+	blocked bool
+	sys     *System
+}
+
+// System drives a set of processors over a machine. If Ctl is non-nil,
+// loads and stores are routed through the speculation controller;
+// otherwise they use the plain protocol.
+type System struct {
+	M     *machine.Machine
+	Ctl   *core.Controller
+	Costs SyncCosts
+
+	Procs []*Proc
+
+	locks    map[int]*lock
+	barriers map[int]*barrier
+
+	aborted  bool
+	excepted bool
+	failure  *core.Failure
+	running  int
+	started  sim.Time
+}
+
+type lock struct {
+	held    bool
+	waiters []*Proc
+	arrived []sim.Time
+}
+
+type barrier struct {
+	need    int
+	procs   []*Proc
+	arrived []sim.Time
+}
+
+// NewSystem creates a system for all processors of m.
+func NewSystem(m *machine.Machine, ctl *core.Controller) *System {
+	s := &System{
+		M:        m,
+		Ctl:      ctl,
+		Costs:    DefaultSyncCosts(),
+		locks:    make(map[int]*lock),
+		barriers: make(map[int]*barrier),
+	}
+	for i := 0; i < m.Cfg.Procs; i++ {
+		s.Procs = append(s.Procs, &Proc{ID: i, sys: s})
+	}
+	// Asynchronous failures (detected at a directory by a deferred
+	// message) abort the whole speculative execution.
+	m.OnFail = func(err error) {
+		if f, ok := err.(*core.Failure); ok {
+			s.abort(f)
+		}
+	}
+	return s
+}
+
+// Aborted reports whether the run was aborted and by which failure.
+// failure is nil when the abort came from an exception.
+func (s *System) Aborted() (*core.Failure, bool) { return s.failure, s.aborted }
+
+// Excepted reports whether the abort was caused by an exception.
+func (s *System) Excepted() bool { return s.excepted }
+
+// abort stops the speculative execution immediately: pending events are
+// discarded so the simulated clock freezes at the failure, matching the
+// paper's "execution stops" semantics. In-flight protocol messages are
+// dropped; the runtime restores state before re-executing serially.
+func (s *System) abort(f *core.Failure) {
+	if s.aborted {
+		return
+	}
+	s.aborted = true
+	s.failure = f
+	s.M.Eng.Drain()
+	s.M.ResetMessages()
+	for _, p := range s.Procs {
+		p.Done = true
+		p.blocked = false
+	}
+	s.running = 0
+}
+
+// Run executes the given instruction sources (one per participating
+// processor; sources[i] drives processor procIDs[i]) to completion or
+// abort, and returns the elapsed cycles.
+func (s *System) Run(procIDs []int, sources []Source) sim.Time {
+	if len(procIDs) != len(sources) {
+		panic("cpu: procIDs and sources length mismatch")
+	}
+	s.aborted = false
+	s.excepted = false
+	s.failure = nil
+	s.running = len(procIDs)
+	s.started = s.M.Eng.Now()
+	// A previous aborted run may have left a lock held by a processor
+	// that no longer exists or a barrier partially filled; every Run is
+	// a fresh phase.
+	for _, l := range s.locks {
+		l.held = false
+		l.waiters = l.waiters[:0]
+		l.arrived = l.arrived[:0]
+	}
+	for _, b := range s.barriers {
+		b.procs = b.procs[:0]
+		b.arrived = b.arrived[:0]
+	}
+	for i, id := range procIDs {
+		p := s.Procs[id]
+		p.src = sources[i]
+		p.Done = false
+		p.blocked = false
+		s.M.Eng.Schedule(0, func() { s.step(p) })
+	}
+	s.M.Eng.Run()
+	if !s.aborted {
+		for _, id := range procIDs {
+			if !s.Procs[id].Done {
+				// A blocked processor with no runnable events is a
+				// deadlock; silently truncating the phase would corrupt
+				// every result built on it.
+				panic(fmt.Sprintf("cpu: processor %d deadlocked (blocked at a lock or barrier)", id))
+			}
+		}
+	}
+	return s.M.Eng.Now() - s.started
+}
+
+// finish marks a processor complete.
+func (s *System) finish(p *Proc) {
+	if !p.Done {
+		p.Done = true
+		s.running--
+	}
+}
+
+// step executes one instruction of p and schedules the next step.
+func (s *System) step(p *Proc) {
+	if p.Done || p.blocked {
+		return
+	}
+	if s.aborted {
+		s.finish(p)
+		return
+	}
+	in, ok := p.src(p)
+	if !ok {
+		s.finish(p)
+		return
+	}
+	p.Instrs[in.Kind]++
+	eng := s.M.Eng
+	next := func(after sim.Time) { eng.Schedule(after, func() { s.step(p) }) }
+
+	switch in.Kind {
+	case KCompute:
+		p.B.Busy += in.Cycles
+		next(in.Cycles)
+
+	case KLoad:
+		lat, err := s.read(p.ID, in.Addr)
+		busy := lat
+		if busy > s.M.Cfg.Lat.L1Hit {
+			busy = s.M.Cfg.Lat.L1Hit
+		}
+		p.B.Busy += busy
+		p.B.Mem += lat - busy
+		if err != nil {
+			s.failSync(err)
+			s.finish(p)
+			return
+		}
+		next(lat)
+
+	case KStore:
+		lat, err := s.write(p.ID, in.Addr)
+		busy := lat
+		if busy > s.M.Cfg.Lat.L1Hit {
+			busy = s.M.Cfg.Lat.L1Hit
+		}
+		p.B.Busy += busy
+		p.B.Mem += lat - busy
+		if err != nil {
+			s.failSync(err)
+			s.finish(p)
+			return
+		}
+		next(lat)
+
+	case KBeginIter:
+		var cost sim.Time
+		if s.Ctl != nil {
+			cost = s.Ctl.BeginIteration(p.ID, in.ID)
+		}
+		p.B.Busy += cost
+		next(cost)
+
+	case KLockAcq:
+		s.lockAcquire(p, in.ID)
+
+	case KLockRel:
+		s.lockRelease(p, in.ID)
+
+	case KBarrier:
+		s.barrierArrive(p, in.ID)
+
+	case KException:
+		// The speculative execution aborts immediately; the run-time
+		// restores state and restarts serially (§2.2).
+		s.excepted = true
+		s.abort(nil)
+	}
+}
+
+func (s *System) read(p int, a mem.Addr) (sim.Time, error) {
+	if s.Ctl != nil {
+		return s.Ctl.Read(p, a)
+	}
+	return s.M.Read(p, a), nil
+}
+
+func (s *System) write(p int, a mem.Addr) (sim.Time, error) {
+	if s.Ctl != nil {
+		return s.Ctl.Write(p, a)
+	}
+	return s.M.Write(p, a), nil
+}
+
+// failSync handles a failure detected synchronously by p's own access.
+func (s *System) failSync(err error) {
+	if f, ok := err.(*core.Failure); ok {
+		s.abort(f)
+	} else {
+		panic(fmt.Sprintf("cpu: unexpected access error %v", err))
+	}
+}
+
+func (s *System) lockAcquire(p *Proc, id int) {
+	l := s.locks[id]
+	if l == nil {
+		l = &lock{}
+		s.locks[id] = l
+	}
+	if !l.held {
+		l.held = true
+		p.B.Sync += s.Costs.LockAcquire
+		s.M.Eng.Schedule(s.Costs.LockAcquire, func() { s.step(p) })
+		return
+	}
+	p.blocked = true
+	l.waiters = append(l.waiters, p)
+	l.arrived = append(l.arrived, s.M.Eng.Now())
+}
+
+func (s *System) lockRelease(p *Proc, id int) {
+	l := s.locks[id]
+	if l == nil || !l.held {
+		panic(fmt.Sprintf("cpu: release of unheld lock %d", id))
+	}
+	// The releaser continues immediately.
+	s.M.Eng.Schedule(0, func() { s.step(p) })
+	if len(l.waiters) == 0 {
+		l.held = false
+		return
+	}
+	w := l.waiters[0]
+	at := l.arrived[0]
+	l.waiters = l.waiters[1:]
+	l.arrived = l.arrived[1:]
+	handoff := s.Costs.LockHandoff
+	w.blocked = false
+	release := s.M.Eng.Now()
+	w.B.Sync += release - at + handoff
+	s.M.Eng.Schedule(handoff, func() { s.step(w) })
+}
+
+// SetBarrier declares barrier id to expect n participants. Barriers must
+// be declared before use so that a subset of processors can synchronize.
+func (s *System) SetBarrier(id, n int) {
+	s.barriers[id] = &barrier{need: n}
+}
+
+func (s *System) barrierArrive(p *Proc, id int) {
+	b := s.barriers[id]
+	if b == nil {
+		panic(fmt.Sprintf("cpu: barrier %d not declared", id))
+	}
+	b.procs = append(b.procs, p)
+	b.arrived = append(b.arrived, s.M.Eng.Now())
+	if len(b.procs) < b.need {
+		p.blocked = true
+		return
+	}
+	// Last arrival releases everyone.
+	release := s.M.Eng.Now()
+	cost := s.Costs.BarrierCost
+	for i, q := range b.procs {
+		q.blocked = false
+		q.B.Sync += release - b.arrived[i] + cost
+		q := q
+		s.M.Eng.Schedule(cost, func() { s.step(q) })
+	}
+	b.procs = b.procs[:0]
+	b.arrived = b.arrived[:0]
+}
+
+// SliceSource adapts a pre-built instruction slice into a Source.
+func SliceSource(instrs []Instr) Source {
+	i := 0
+	return func(*Proc) (Instr, bool) {
+		if i >= len(instrs) {
+			return Instr{}, false
+		}
+		in := instrs[i]
+		i++
+		return in, true
+	}
+}

@@ -1,0 +1,136 @@
+// Package directory implements the per-node, DASH-like full-map directory
+// of the simulated CC-NUMA machine [Lenoski et al., "The Directory-Based
+// Cache Coherence Protocol for the DASH Multiprocessor"]. Each memory line
+// homed at a node has an entry recording whether it is uncached, shared by
+// a set of caches, or dirty in exactly one cache. All coherence
+// transactions for a line serialize at its home directory, which is the
+// property the paper's speculation extensions rely on.
+package directory
+
+import (
+	"fmt"
+	"math/bits"
+
+	"specrt/internal/mem"
+)
+
+// State of a memory line as seen by its home directory.
+type State uint8
+
+const (
+	Uncached State = iota
+	Shared
+	Dirty
+)
+
+func (s State) String() string {
+	switch s {
+	case Uncached:
+		return "UNCACHED"
+	case Shared:
+		return "SHARED"
+	case Dirty:
+		return "DIRTY"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Sharers is a bitset of processor IDs holding a clean copy. 64 processors
+// are enough for this study (the paper evaluates up to 16).
+type Sharers uint64
+
+// Add returns s with processor p added.
+func (s Sharers) Add(p int) Sharers { return s | 1<<uint(p) }
+
+// Remove returns s with processor p removed.
+func (s Sharers) Remove(p int) Sharers { return s &^ (1 << uint(p)) }
+
+// Has reports whether p is in the set.
+func (s Sharers) Has(p int) bool { return s&(1<<uint(p)) != 0 }
+
+// Count returns the number of sharers.
+func (s Sharers) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Only reports whether p is the single sharer.
+func (s Sharers) Only(p int) bool { return s == 1<<uint(p) }
+
+// ForEach calls fn for each processor in the set, in increasing ID order.
+func (s Sharers) ForEach(fn func(p int)) {
+	for v := uint64(s); v != 0; {
+		p := bits.TrailingZeros64(v)
+		fn(p)
+		v &^= 1 << uint(p)
+	}
+}
+
+// Entry is the directory state for one line.
+type Entry struct {
+	State   State
+	Sharers Sharers
+	Owner   int // valid when State == Dirty
+}
+
+// Stats counts directory events at one node.
+type Stats struct {
+	Lookups       uint64
+	Invalidations uint64 // invalidation messages sent
+	WritebackReqs uint64 // forced writebacks from dirty owners
+}
+
+// Directory holds entries for the lines homed at one node. Entries are
+// created lazily in the Uncached state.
+type Directory struct {
+	Node    int
+	entries map[mem.Addr]*Entry
+	Stats   Stats
+}
+
+// New creates the directory for node n.
+func New(n int) *Directory {
+	return &Directory{Node: n, entries: make(map[mem.Addr]*Entry)}
+}
+
+// Entry returns the entry for line-aligned address line, creating an
+// Uncached entry on first touch.
+func (d *Directory) Entry(line mem.Addr) *Entry {
+	d.Stats.Lookups++
+	e := d.entries[line]
+	if e == nil {
+		e = &Entry{State: Uncached}
+		d.entries[line] = e
+	}
+	return e
+}
+
+// Peek returns the entry without creating one.
+func (d *Directory) Peek(line mem.Addr) *Entry { return d.entries[line] }
+
+// Len returns the number of tracked lines.
+func (d *Directory) Len() int { return len(d.entries) }
+
+// Reset drops all entries (between loop executions the caches are flushed,
+// and the runtime resets directory coherence state to match).
+func (d *Directory) Reset() {
+	d.entries = make(map[mem.Addr]*Entry)
+}
+
+// AddSharer transitions the entry for a read fill by processor p.
+func (e *Entry) AddSharer(p int) {
+	e.Sharers = e.Sharers.Add(p)
+	e.State = Shared
+}
+
+// SetDirty transitions the entry for an exclusive fill by processor p.
+func (e *Entry) SetDirty(p int) {
+	e.State = Dirty
+	e.Owner = p
+	e.Sharers = 0
+}
+
+// ClearToUncached returns the entry to Uncached (after writeback with
+// invalidation, or a flush).
+func (e *Entry) ClearToUncached() {
+	e.State = Uncached
+	e.Sharers = 0
+	e.Owner = 0
+}

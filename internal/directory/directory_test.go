@@ -1,0 +1,138 @@
+package directory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSharersOps(t *testing.T) {
+	var s Sharers
+	s = s.Add(3).Add(7).Add(3)
+	if !s.Has(3) || !s.Has(7) || s.Has(0) {
+		t.Fatalf("membership wrong: %b", s)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+	s = s.Remove(3)
+	if s.Has(3) || s.Count() != 1 {
+		t.Fatalf("Remove failed: %b", s)
+	}
+	if !s.Only(7) {
+		t.Fatal("Only(7) false after removing 3")
+	}
+	s = s.Add(1)
+	if s.Only(7) {
+		t.Fatal("Only(7) true with two sharers")
+	}
+}
+
+func TestSharersForEachOrder(t *testing.T) {
+	var s Sharers
+	for _, p := range []int{9, 2, 31, 0} {
+		s = s.Add(p)
+	}
+	var got []int
+	s.ForEach(func(p int) { got = append(got, p) })
+	want := []int{0, 2, 9, 31}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEntryLifecycle(t *testing.T) {
+	d := New(0)
+	e := d.Entry(0x1000)
+	if e.State != Uncached {
+		t.Fatalf("fresh entry state = %v", e.State)
+	}
+	e.AddSharer(2)
+	e.AddSharer(5)
+	if e.State != Shared || e.Sharers.Count() != 2 {
+		t.Fatalf("after AddSharer: %+v", *e)
+	}
+	e.SetDirty(5)
+	if e.State != Dirty || e.Owner != 5 || e.Sharers != 0 {
+		t.Fatalf("after SetDirty: %+v", *e)
+	}
+	e.ClearToUncached()
+	if e.State != Uncached || e.Sharers != 0 {
+		t.Fatalf("after ClearToUncached: %+v", *e)
+	}
+}
+
+func TestEntryIdentity(t *testing.T) {
+	d := New(1)
+	a := d.Entry(0x40)
+	b := d.Entry(0x40)
+	if a != b {
+		t.Fatal("Entry returned different pointers for same line")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+	if d.Peek(0x80) != nil {
+		t.Fatal("Peek created an entry")
+	}
+	if d.Peek(0x40) != a {
+		t.Fatal("Peek missed existing entry")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(0)
+	d.Entry(0x40).SetDirty(1)
+	d.Reset()
+	if d.Len() != 0 {
+		t.Fatal("Reset left entries")
+	}
+	if d.Entry(0x40).State != Uncached {
+		t.Fatal("entry after Reset not Uncached")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Uncached: "UNCACHED", Shared: "SHARED", Dirty: "DIRTY"} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+	if State(7).String() == "" {
+		t.Fatal("unknown state should stringify")
+	}
+}
+
+// Property: Add/Remove behave like a set over IDs 0..63.
+func TestPropertySharersSetSemantics(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var s Sharers
+		ref := map[int]bool{}
+		for _, op := range ops {
+			p := int(op % 64)
+			if op&0x80 != 0 {
+				s = s.Remove(p)
+				delete(ref, p)
+			} else {
+				s = s.Add(p)
+				ref[p] = true
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for p := range ref {
+			if !s.Has(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

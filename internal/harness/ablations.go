@@ -1,0 +1,235 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"specrt/internal/core"
+	"specrt/internal/loops"
+	"specrt/internal/run"
+	"specrt/internal/sched"
+)
+
+// Ablations beyond the paper's figures, for the design choices DESIGN.md
+// calls out.
+
+// ChunkRow is one point of the Track chunk-size ablation.
+type ChunkRow struct {
+	Chunk    int // 0 = static
+	Cycles   int64
+	Failures int
+}
+
+// AblationTrackChunks sweeps the dynamic-scheduling block size for Track
+// under the HW scheme (§4.1 discusses superiteration size; §5.2 notes
+// Track passes "if the iterations are scheduled in blocks of a few
+// iterations each"). Chunk 1 splits the communicating pairs across
+// processors and fails; larger chunks pass but lose balance.
+func (h *Harness) AblationTrackChunks() []ChunkRow {
+	var rows []ChunkRow
+	for _, chunk := range []int{1, 2, 4, 8, 16, 32, 0} {
+		w := loops.Track()
+		cfg := run.Config{
+			Procs: 16, Mode: run.HW, Contention: true,
+			MaxExecutions: h.Scale.TrackExecs,
+		}
+		if chunk == 0 {
+			cfg.SchedOverride = &sched.Config{Kind: sched.Static}
+		} else {
+			cfg.SchedOverride = &sched.Config{Kind: sched.Dynamic, Chunk: chunk}
+		}
+		r := run.MustExecute(w, cfg)
+		rows = append(rows, ChunkRow{Chunk: chunk, Cycles: r.Cycles, Failures: r.Failures})
+	}
+	return rows
+}
+
+// PrintAblationTrackChunks renders the chunk sweep.
+func (h *Harness) PrintAblationTrackChunks(w io.Writer) []ChunkRow {
+	rows := h.AblationTrackChunks()
+	fmt.Fprintf(w, "Ablation: Track HW dynamic block size (scale %s)\n", h.Scale.Name)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "chunk\tcycles\tfailed executions")
+	for _, r := range rows {
+		name := fmt.Sprint(r.Chunk)
+		if r.Chunk == 0 {
+			name = "static"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\n", name, r.Cycles, r.Failures)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "expected: chunk 1 fails the special executions; small blocks pass and balance best")
+	fmt.Fprintln(w)
+	return rows
+}
+
+// ContentionRow compares a loop with and without home-node contention.
+type ContentionRow struct {
+	Loop              string
+	WithContention    int64
+	WithoutContention int64
+}
+
+// AblationContention quantifies queueing delay at the home directories
+// (the paper: latencies "increase with resource contention").
+func (h *Harness) AblationContention() []ContentionRow {
+	var rows []ContentionRow
+	for _, name := range []string{"P3m", "Track"} {
+		w, maxExec := h.workload(name)
+		on := run.MustExecute(w, run.Config{
+			Procs: 16, Mode: run.HW, Contention: true, MaxExecutions: maxExec})
+		w2, _ := h.workload(name)
+		off := run.MustExecute(w2, run.Config{
+			Procs: 16, Mode: run.HW, Contention: false, MaxExecutions: maxExec})
+		rows = append(rows, ContentionRow{
+			Loop: name, WithContention: on.Cycles, WithoutContention: off.Cycles})
+	}
+	return rows
+}
+
+// PrintAblationContention renders the contention comparison.
+func (h *Harness) PrintAblationContention(w io.Writer) []ContentionRow {
+	rows := h.AblationContention()
+	fmt.Fprintf(w, "Ablation: home-node contention (HW, 16 procs, scale %s)\n", h.Scale.Name)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "loop\twith contention\twithout\tslowdown")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\n", r.Loop, r.WithContention, r.WithoutContention,
+			float64(r.WithContention)/float64(r.WithoutContention))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	return rows
+}
+
+// GrainRow compares per-word and per-line access bits.
+type GrainRow struct {
+	Grain    string
+	Failures int
+	Cycles   int64
+}
+
+// AblationBitGranularity runs a non-privatization loop whose processors
+// interleave within cache lines. Per-word bits (the paper's design,
+// §4.1) pass; per-line bits fail spuriously on false sharing.
+func (h *Harness) AblationBitGranularity() []GrainRow {
+	mk := func() *run.Workload {
+		return &run.Workload{
+			Name:       "interleaved",
+			Executions: 1,
+			Iterations: func(int) int { return 256 },
+			Arrays: []run.ArraySpec{
+				{Name: "A", Elems: 256, ElemSize: 4, Test: core.NonPriv},
+			},
+			Body: func(exec, iter int, c *run.Ctx) {
+				c.Compute(60)
+				// Iteration i owns element i: consecutive iterations
+				// (different processors under chunk-1 dynamic
+				// scheduling) share cache lines but not words.
+				c.Store(0, iter)
+				c.Load(0, iter)
+			},
+			HWSched: sched.Config{Kind: sched.Dynamic, Chunk: 1},
+		}
+	}
+	var rows []GrainRow
+	for _, lineGrain := range []bool{false, true} {
+		w := mk()
+		r := executeWithGrain(w, lineGrain)
+		name := "word"
+		if lineGrain {
+			name = "line"
+		}
+		rows = append(rows, GrainRow{Grain: name, Failures: r.Failures, Cycles: r.Cycles})
+	}
+	return rows
+}
+
+// executeWithGrain runs a workload under HW with the chosen access-bit
+// granularity.
+func executeWithGrain(w *run.Workload, lineGrain bool) *run.Result {
+	cfg := run.Config{Procs: 8, Mode: run.HW, Contention: true}
+	cfg.LineGrainBits = lineGrain
+	return run.MustExecute(w, cfg)
+}
+
+// PrintAblationBitGranularity renders the granularity comparison.
+func (h *Harness) PrintAblationBitGranularity(w io.Writer) []GrainRow {
+	rows := h.AblationBitGranularity()
+	fmt.Fprintln(w, "Ablation: access-bit granularity (non-priv, interleaved elements)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "granularity\tfailed\tcycles")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\n", r.Grain, r.Failures, r.Cycles)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "expected: per-word bits pass; per-line bits fail spuriously on false sharing")
+	fmt.Fprintln(w)
+	return rows
+}
+
+// RicoRow compares privatization with and without read-in support.
+type RicoRow struct {
+	RICO     bool
+	Failures int
+}
+
+// AblationReadIn shows the value of read-in/copy-out support (§3.3): a
+// loop whose first access to each element is a read passes only with
+// RICO.
+func (h *Harness) AblationReadIn() []RicoRow {
+	mk := func(rico bool) *run.Workload {
+		return &run.Workload{
+			Name:       "readin",
+			Executions: 1,
+			Iterations: func(int) int { return 64 },
+			Arrays: []run.ArraySpec{
+				{Name: "A", Elems: 64, ElemSize: 4, Test: core.Priv, RICO: rico, LiveOut: true},
+			},
+			Body: func(exec, iter int, c *run.Ctx) {
+				// Read the pre-loop value, then update: read-in and
+				// copy-out both needed; no cross-iteration flow.
+				c.Load(0, iter)
+				c.Compute(80)
+				c.Store(0, iter)
+			},
+			HWSched: sched.Config{Kind: sched.Dynamic, Chunk: 1},
+		}
+	}
+	var rows []RicoRow
+	for _, rico := range []bool{true, false} {
+		r := run.MustExecute(mk(rico), run.Config{Procs: 8, Mode: run.HW, Contention: true})
+		rows = append(rows, RicoRow{RICO: rico, Failures: r.Failures})
+	}
+	return rows
+}
+
+// PrintAblationReadIn renders the read-in comparison.
+func (h *Harness) PrintAblationReadIn(w io.Writer) []RicoRow {
+	rows := h.AblationReadIn()
+	fmt.Fprintln(w, "Ablation: privatization with vs without read-in/copy-out support")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "read-in/copy-out\tfailed executions")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%t\t%d\n", r.RICO, r.Failures)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "expected: read-first loops pass only with read-in support")
+	fmt.Fprintln(w)
+	return rows
+}
+
+// Ablations runs all of them.
+func (h *Harness) Ablations(w io.Writer) {
+	h.PrintAblationTrackChunks(w)
+	h.PrintAblationContention(w)
+	h.PrintAblationBitGranularity(w)
+	h.PrintAblationReadIn(w)
+	h.PrintAblationEpochs(w)
+	h.PrintAblationSparseBackup(w)
+	h.PrintAblationPrivGranularity(w)
+	h.PrintAblationAdaptive(w)
+	h.PrintAblationWriteStall(w)
+	h.PrintAblationDirectoryOccupancy(w)
+}

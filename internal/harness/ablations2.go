@@ -1,0 +1,278 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"specrt/internal/core"
+	"specrt/internal/run"
+	"specrt/internal/sched"
+)
+
+// EpochRow is one point of the timestamp-overflow ablation.
+type EpochRow struct {
+	EpochIters int // 0 = unlimited time stamps
+	Cycles     int64
+	Failures   int
+}
+
+// AblationEpochs sweeps the §3.3 overflow-synchronization period on a
+// privatization workload: smaller epochs mean narrower time stamps but
+// more all-processor synchronizations.
+func (h *Harness) AblationEpochs() []EpochRow {
+	mk := func() *run.Workload {
+		return &run.Workload{
+			Name:       "epochs",
+			Executions: 1,
+			Iterations: func(int) int { return 1024 },
+			Arrays: []run.ArraySpec{
+				{Name: "T", Elems: 256, ElemSize: 4, Test: core.Priv, RICO: true},
+			},
+			Body: func(exec, iter int, c *run.Ctx) {
+				c.Store(0, iter%256)
+				c.Compute(120)
+				c.Load(0, iter%256)
+			},
+			HWSched: sched.Config{Kind: sched.Dynamic, Chunk: 4},
+		}
+	}
+	var rows []EpochRow
+	for _, epoch := range []int{0, 512, 128, 32, 8} {
+		r := run.MustExecute(mk(), run.Config{
+			Procs: 8, Mode: run.HW, Contention: true, EpochIters: epoch,
+		})
+		rows = append(rows, EpochRow{EpochIters: epoch, Cycles: r.Cycles, Failures: r.Failures})
+	}
+	return rows
+}
+
+// PrintAblationEpochs renders the epoch sweep.
+func (h *Harness) PrintAblationEpochs(w io.Writer) []EpochRow {
+	rows := h.AblationEpochs()
+	fmt.Fprintln(w, "Ablation: timestamp-overflow synchronization period (§3.3; priv loop, 8 procs)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "iters/epoch\ttimestamp bits\tcycles\tfailed")
+	for _, r := range rows {
+		bits := "unbounded"
+		if r.EpochIters > 0 {
+			b := 1
+			for 1<<b < r.EpochIters {
+				b++
+			}
+			bits = fmt.Sprint(b)
+		}
+		name := "off"
+		if r.EpochIters > 0 {
+			name = fmt.Sprint(r.EpochIters)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\n", name, bits, r.Cycles, r.Failures)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "expected: correctness at every period; smaller epochs trade synchronization cost for narrower time stamps")
+	fmt.Fprintln(w)
+	return rows
+}
+
+// SparseRow compares full-array and save-on-first-write backup.
+type SparseRow struct {
+	Strategy string
+	PassCost int64 // cycles of a passing Track-like run
+	FailCost int64 // cycles of a forced failure (backup + restore heavy)
+}
+
+// AblationSparseBackup compares the §2.2.1 backup strategies on a
+// sparse scatter loop: a large array of which each execution writes only
+// a few hundred elements. Copying the whole array up front is then far
+// more expensive than saving elements just before their first write.
+func (h *Harness) AblationSparseBackup() []SparseRow {
+	mk := func(sparse, fail bool) *run.Workload {
+		return &run.Workload{
+			Name:       "scatter-backup",
+			Executions: 1,
+			Iterations: func(int) int { return 128 },
+			Arrays: []run.ArraySpec{
+				{Name: "G", Elems: 1 << 15, ElemSize: 4, Test: core.NonPriv, SparseBackup: sparse},
+			},
+			Body: func(_, iter int, c *run.Ctx) {
+				c.Compute(150)
+				// Two scattered writes per iteration into disjoint
+				// ranges: 256 of 32768 elements are modified.
+				c.Store(0, iter*17)
+				c.Store(0, 10000+iter*31)
+				if fail && iter == 100 {
+					c.Load(0, 50*17) // element iteration 50 wrote
+				}
+			},
+			HWSched: sched.Config{Kind: sched.Dynamic, Chunk: 1},
+		}
+	}
+	var rows []SparseRow
+	for _, sparse := range []bool{false, true} {
+		name := "full copy"
+		if sparse {
+			name = "save-on-first-write"
+		}
+		pass := run.MustExecute(mk(sparse, false), run.Config{Procs: 16, Mode: run.HW, Contention: true})
+		fail := run.MustExecute(mk(sparse, true), run.Config{Procs: 16, Mode: run.HW, Contention: true})
+		rows = append(rows, SparseRow{Strategy: name, PassCost: pass.Cycles, FailCost: fail.Cycles})
+	}
+	return rows
+}
+
+// PrintAblationSparseBackup renders the backup-strategy comparison.
+func (h *Harness) PrintAblationSparseBackup(w io.Writer) []SparseRow {
+	rows := h.AblationSparseBackup()
+	fmt.Fprintln(w, "Ablation: backup strategy (§2.2.1; sparse scatter loop, 16 procs, HW)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "strategy\tpassing run\tforced failure")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\n", r.Strategy, r.PassCost, r.FailCost)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "expected: saving on first write wins when few elements are modified")
+	fmt.Fprintln(w)
+	return rows
+}
+
+// GranularityRow is one point of the privatization superiteration sweep.
+type GranularityRow struct {
+	Name        string
+	Cycles      int64
+	SpecSignals uint64 // read-first + first-write messages
+	TagClears   uint64 // BeginIter operations (per-superiteration resets)
+}
+
+// AblationPrivGranularity demonstrates §4.1's superiteration discussion:
+// grouping iterations into chunks (block scheduling) and, at the extreme,
+// one superiteration per processor (processor-wise) eliminates messages
+// and per-iteration tag resets for the privatization protocol, at the
+// price of scheduling freedom.
+func (h *Harness) AblationPrivGranularity() []GranularityRow {
+	mk := func(kind sched.Kind, chunk int) *run.Workload {
+		return &run.Workload{
+			Name:       "privgrain",
+			Executions: 1,
+			Iterations: func(int) int { return 512 },
+			Arrays: []run.ArraySpec{
+				{Name: "T", Elems: 128, ElemSize: 4, Test: core.Priv, RICO: true},
+			},
+			Body: func(exec, iter int, c *run.Ctx) {
+				// A hot read-only set: every (super)iteration's first
+				// read of these elements is a read-first and signals
+				// the shared directory, so the signal count scales
+				// with the number of superiterations (§4.1).
+				c.Load(0, iter%16)
+				c.Load(0, 16+iter%16)
+				c.Compute(90)
+				// Plus a private scratch slot per iteration.
+				c.Store(0, 32+iter%96)
+				c.Load(0, 32+iter%96)
+			},
+			HWSched: sched.Config{Kind: kind, Chunk: chunk},
+		}
+	}
+	cases := []struct {
+		name  string
+		kind  sched.Kind
+		chunk int
+	}{
+		{"iteration-wise (dynamic, chunk 1)", sched.Dynamic, 1},
+		{"superiterations of 8 (dynamic)", sched.Dynamic, 8},
+		{"superiterations of 32 (block-cyclic)", sched.BlockCyclic, 32},
+		{"processor-wise (static)", sched.Static, 0},
+	}
+	var rows []GranularityRow
+	for _, tc := range cases {
+		r := run.MustExecute(mk(tc.kind, tc.chunk),
+			run.Config{Procs: 8, Mode: run.HW, Contention: true})
+		if r.Failures != 0 {
+			panic("privgrain workload failed: " + r.FirstFailure.Error())
+		}
+		rows = append(rows, GranularityRow{
+			Name:        tc.name,
+			Cycles:      r.Cycles,
+			SpecSignals: r.CoreStats.ReadFirstSignals + r.CoreStats.FirstWriteSignals + r.CoreStats.ReadIns,
+			TagClears:   r.MachineStats.Messages, // deferred messages overall
+		})
+	}
+	return rows
+}
+
+// PrintAblationPrivGranularity renders the superiteration sweep.
+func (h *Harness) PrintAblationPrivGranularity(w io.Writer) []GranularityRow {
+	rows := h.AblationPrivGranularity()
+	fmt.Fprintln(w, "Ablation: privatization superiteration size (§4.1; priv loop, 8 procs, HW)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "granularity\tcycles\tspec signals\tprotocol messages")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", r.Name, r.Cycles, r.SpecSignals, r.TagClears)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "expected: coarser superiterations eliminate messages and protocol tests (§4.1)")
+	fmt.Fprintln(w)
+	return rows
+}
+
+// AdaptiveRow compares always-speculate with the §2.2.4 adaptive policy
+// on a loop that is never parallel.
+type AdaptiveRow struct {
+	Policy    string
+	Cycles    int64
+	Failures  int
+	Fallbacks int
+}
+
+// AblationAdaptive runs a never-parallel loop for several executions
+// under HW, with and without the success-rate heuristic.
+func (h *Harness) AblationAdaptive() []AdaptiveRow {
+	mk := func() *run.Workload {
+		return &run.Workload{
+			Name:       "serial-chain",
+			Executions: 8,
+			Iterations: func(int) int { return 128 },
+			Arrays: []run.ArraySpec{
+				{Name: "A", Elems: 129, ElemSize: 4, Test: core.NonPriv},
+			},
+			Body: func(exec, iter int, c *run.Ctx) {
+				c.Load(0, iter)
+				c.Compute(80)
+				c.Store(0, iter+1)
+			},
+			HWSched: sched.Config{Kind: sched.Dynamic, Chunk: 1},
+		}
+	}
+	var rows []AdaptiveRow
+	for _, mode := range []run.Mode{run.HW, run.SW} {
+		for _, adaptive := range []int{0, 2} {
+			name := fmt.Sprintf("%v, always speculate", mode)
+			if adaptive > 0 {
+				name = fmt.Sprintf("%v, adaptive (stop after %d failures)", mode, adaptive)
+			}
+			r := run.MustExecute(mk(), run.Config{
+				Procs: 8, Mode: mode, Contention: true, AdaptiveAfter: adaptive,
+			})
+			rows = append(rows, AdaptiveRow{
+				Policy: name, Cycles: r.Cycles,
+				Failures: r.Failures, Fallbacks: r.SerialFallbacks,
+			})
+		}
+	}
+	return rows
+}
+
+// PrintAblationAdaptive renders the policy comparison.
+func (h *Harness) PrintAblationAdaptive(w io.Writer) []AdaptiveRow {
+	rows := h.AblationAdaptive()
+	fmt.Fprintln(w, "Ablation: adaptive speculation (§2.2.4; never-parallel loop, 8 executions)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tcycles\tfailed\tserial fallbacks")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", r.Policy, r.Cycles, r.Failures, r.Fallbacks)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "expected: the heuristic matters for SW (whole failed loops are wasted) but")
+	fmt.Fprintln(w, "          barely for HW, whose failures already cost ~nothing (§6.2)")
+	fmt.Fprintln(w)
+	return rows
+}

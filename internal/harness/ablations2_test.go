@@ -1,0 +1,93 @@
+package harness
+
+import "testing"
+
+func TestAblationEpochs(t *testing.T) {
+	rows := quickHarness.AblationEpochs()
+	for _, r := range rows {
+		if r.Failures != 0 {
+			t.Fatalf("epoch=%d failed %d times", r.EpochIters, r.Failures)
+		}
+	}
+	// More synchronization => at least as many cycles as unbounded.
+	base := rows[0].Cycles
+	if rows[len(rows)-1].Cycles < base {
+		t.Fatalf("tiny epochs (%d) cheaper than unbounded (%d)",
+			rows[len(rows)-1].Cycles, base)
+	}
+}
+
+func TestAblationSparseBackup(t *testing.T) {
+	rows := quickHarness.AblationSparseBackup()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	full, sparse := rows[0], rows[1]
+	if sparse.PassCost >= full.PassCost {
+		t.Fatalf("sparse backup (%d) not cheaper than full (%d) on a sparse-write loop",
+			sparse.PassCost, full.PassCost)
+	}
+}
+
+func TestAblationPrivGranularity(t *testing.T) {
+	rows := quickHarness.AblationPrivGranularity()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Coarser superiterations send fewer speculation signals.
+	first, last := rows[0], rows[len(rows)-1]
+	if last.SpecSignals >= first.SpecSignals {
+		t.Fatalf("processor-wise signals (%d) not fewer than iteration-wise (%d)",
+			last.SpecSignals, first.SpecSignals)
+	}
+}
+
+func TestAblationAdaptive(t *testing.T) {
+	rows := quickHarness.AblationAdaptive()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	hwAlways, hwAdaptive := rows[0], rows[1]
+	swAlways, swAdaptive := rows[2], rows[3]
+	for _, r := range []AdaptiveRow{hwAdaptive, swAdaptive} {
+		if r.Failures != 2 || r.Fallbacks != 6 {
+			t.Fatalf("adaptive counts wrong: %+v", r)
+		}
+	}
+	if hwAlways.Failures != 8 || swAlways.Failures != 8 {
+		t.Fatalf("always counts wrong: %+v %+v", hwAlways, swAlways)
+	}
+	if swAdaptive.Cycles >= swAlways.Cycles {
+		t.Fatalf("SW adaptive (%d) not cheaper than always (%d)", swAdaptive.Cycles, swAlways.Cycles)
+	}
+	// The paper's point: HW failures are cheap, so the heuristic saves
+	// far less relatively under HW than under SW.
+	hwSave := float64(hwAlways.Cycles-hwAdaptive.Cycles) / float64(hwAlways.Cycles)
+	swSave := float64(swAlways.Cycles-swAdaptive.Cycles) / float64(swAlways.Cycles)
+	if swSave <= hwSave {
+		t.Fatalf("SW saving %.3f not larger than HW saving %.3f", swSave, hwSave)
+	}
+}
+
+func TestAblationWriteStall(t *testing.T) {
+	rows := quickHarness.AblationWriteStall()
+	for _, r := range rows {
+		if r.Stalling <= r.NonStalling {
+			t.Fatalf("%s: stalling (%d) not slower than non-stalling (%d)",
+				r.Loop, r.Stalling, r.NonStalling)
+		}
+	}
+}
+
+func TestAblationDirectoryOccupancy(t *testing.T) {
+	rows := quickHarness.AblationDirectoryOccupancy()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Cycles < rows[i-1].Cycles {
+			t.Fatalf("occupancy %d cheaper than %d: %d < %d",
+				rows[i].Occ, rows[i-1].Occ, rows[i].Cycles, rows[i-1].Cycles)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"specrt/internal/core"
+	"specrt/internal/loops"
+	"specrt/internal/machine"
+	"specrt/internal/run"
+	"specrt/internal/sched"
+)
+
+// StallRow compares non-stalling and stalling writes.
+type StallRow struct {
+	Loop        string
+	NonStalling int64
+	Stalling    int64
+}
+
+// AblationWriteStall quantifies the §5.1 design choice "processors do
+// not stall on write misses" on the write-heavy loops.
+func (h *Harness) AblationWriteStall() []StallRow {
+	var rows []StallRow
+	for _, name := range []string{"Ocean", "Adm"} {
+		procs := loops.Procs(name)
+		w, maxExec := h.workload(name)
+		fast := run.MustExecute(w, run.Config{
+			Procs: procs, Mode: run.HW, Contention: true, MaxExecutions: maxExec})
+		w2, _ := h.workload(name)
+		slow := run.MustExecute(w2, run.Config{
+			Procs: procs, Mode: run.HW, Contention: true, MaxExecutions: maxExec,
+			StallWrites: true})
+		rows = append(rows, StallRow{Loop: name, NonStalling: fast.Cycles, Stalling: slow.Cycles})
+	}
+	return rows
+}
+
+// PrintAblationWriteStall renders the write-stall comparison.
+func (h *Harness) PrintAblationWriteStall(w io.Writer) []StallRow {
+	rows := h.AblationWriteStall()
+	fmt.Fprintf(w, "Ablation: write-miss stalling (§5.1; HW, scale %s)\n", h.Scale.Name)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "loop\tnon-stalling (paper)\tstalling\tslowdown")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\n", r.Loop, r.NonStalling, r.Stalling,
+			float64(r.Stalling)/float64(r.NonStalling))
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "expected: stalling on write misses costs a large factor on write-heavy loops")
+	fmt.Fprintln(w)
+	return rows
+}
+
+// OccRow is one point of the directory-occupancy sweep.
+type OccRow struct {
+	Label  string
+	Occ    int64
+	Cycles int64
+}
+
+// AblationDirectoryOccupancy models replacing the hardwired test logic of
+// Figure 10-(c) with a programmable protocol processor: handlers occupy
+// the directory longer, increasing queueing delay under contention.
+func (h *Harness) AblationDirectoryOccupancy() []OccRow {
+	mk := func(scale int64) *run.Workload {
+		return &run.Workload{
+			Name:       "dirocc",
+			Executions: 1,
+			Iterations: func(int) int { return 512 },
+			Arrays: []run.ArraySpec{
+				{Name: "A", Elems: 8192, ElemSize: 4, Test: core.NonPriv},
+			},
+			Body: func(exec, iter int, c *run.Ctx) {
+				c.Compute(40)
+				for k := 0; k < 8; k++ {
+					e := iter*16 + k
+					c.Store(0, e%8192)
+					c.Load(0, e%8192)
+				}
+			},
+			HWSched: sched.Config{Kind: sched.Dynamic, Chunk: 2},
+		}
+	}
+	cases := []struct {
+		label string
+		mult  int64
+	}{
+		{"hardwired test logic (paper)", 1},
+		{"protocol processor, 2x handler", 2},
+		{"protocol processor, 4x handler", 4},
+	}
+	var rows []OccRow
+	for _, tc := range cases {
+		// Execute with scaled home occupancy by running through the
+		// machine config override path.
+		r := executeWithOccupancy(mk(tc.mult), tc.mult)
+		base := machine.DefaultLatencies().HomeOccLine
+		rows = append(rows, OccRow{Label: tc.label, Occ: base * tc.mult, Cycles: r.Cycles})
+	}
+	return rows
+}
+
+// executeWithOccupancy runs a workload with the home-node occupancy
+// scaled, modelling slower (programmable) directory handlers.
+func executeWithOccupancy(w *run.Workload, mult int64) *run.Result {
+	return run.MustExecute(w, run.Config{
+		Procs: 16, Mode: run.HW, Contention: true, HomeOccMultiplier: mult,
+	})
+}
+
+// PrintAblationDirectoryOccupancy renders the occupancy sweep.
+func (h *Harness) PrintAblationDirectoryOccupancy(w io.Writer) []OccRow {
+	rows := h.AblationDirectoryOccupancy()
+	fmt.Fprintln(w, "Ablation: directory handler occupancy (Figure 10-(c): hardwired vs protocol processor)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "directory implementation\tocc (cycles)\ttotal cycles")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\n", r.Label, r.Occ, r.Cycles)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "expected: slower handlers increase queueing at the home nodes under contention")
+	fmt.Fprintln(w)
+	return rows
+}

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ASCII rendering of the paper's bar figures for terminal output:
+// stacked Busy/Mem/Sync segments, normalized to Serial = full width.
+
+const (
+	barWidth = 44 // characters per 1.0 normalized time
+	busyCh   = "█"
+	memCh    = "▒"
+	syncCh   = "░"
+)
+
+// bar renders one stacked bar.
+func bar(busy, mem, sync float64) string {
+	seg := func(v float64, ch string) string {
+		n := int(v*barWidth + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		if n > 3*barWidth {
+			n = 3 * barWidth // cap pathological bars
+		}
+		return strings.Repeat(ch, n)
+	}
+	return seg(busy, busyCh) + seg(mem, memCh) + seg(sync, syncCh)
+}
+
+// PrintFig12Bars renders Figure 12 as stacked bars.
+func (h *Harness) PrintFig12Bars(w io.Writer) {
+	res := h.Fig12()
+	fmt.Fprintf(w, "Figure 12 (bars): execution time normalized to Serial (scale %s)\n", h.Scale.Name)
+	fmt.Fprintf(w, "  %s Busy   %s Mem   %s Sync\n", busyCh, memCh, syncCh)
+	lastLoop := ""
+	for _, b := range res.Bars {
+		loop := b.Loop
+		if loop == lastLoop {
+			loop = ""
+		} else {
+			lastLoop = loop
+			fmt.Fprintln(w)
+		}
+		label := fmt.Sprintf("%v_%d", b.Mode, b.Procs)
+		fmt.Fprintf(w, "  %-6s %-10s %-6.3f %s\n", loop, label, b.Norm.Total(),
+			bar(b.Norm.Busy, b.Norm.Mem, b.Norm.Sync))
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintFig13Bars renders Figure 13 as bars (total time only; the failed
+// runs mix phases with different breakdowns).
+func (h *Harness) PrintFig13Bars(w io.Writer) {
+	res := h.Fig13()
+	fmt.Fprintf(w, "Figure 13 (bars): failed-execution time normalized to Serial (scale %s)\n", h.Scale.Name)
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "\n  %-11s Serial 1.00 %s\n", r.Loop, strings.Repeat(busyCh, barWidth))
+		fmt.Fprintf(w, "  %-11s HW     %.2f %s\n", "", r.HWNorm, strings.Repeat(busyCh, int(r.HWNorm*barWidth+0.5)))
+		fmt.Fprintf(w, "  %-11s SW     %.2f %s\n", "", r.SWNorm, strings.Repeat(busyCh, int(r.SWNorm*barWidth+0.5)))
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV emitters for plotting: one row per figure datum.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(x float64) string { return fmt.Sprintf("%.4f", x) }
+func d(x int64) string   { return fmt.Sprintf("%d", x) }
+
+// WriteCSV emits Figure 11 as loop,procs,scheme,speedup,efficiency rows.
+func (r Fig11Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows,
+			[]string{row.Loop, fmt.Sprint(row.Procs), "Ideal", f(row.Ideal), f(row.EffIdl)},
+			[]string{row.Loop, fmt.Sprint(row.Procs), "SW", f(row.SW), f(row.EffSW)},
+			[]string{row.Loop, fmt.Sprint(row.Procs), "HW", f(row.HW), f(row.EffHW)})
+	}
+	return writeCSV(w, []string{"loop", "procs", "scheme", "speedup", "efficiency"}, rows)
+}
+
+// WriteCSV emits Figure 12 as loop,scheme,procs,busy,mem,sync,total rows
+// (all normalized to Serial).
+func (r Fig12Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, b := range r.Bars {
+		rows = append(rows, []string{
+			b.Loop, b.Mode.String(), fmt.Sprint(b.Procs),
+			f(b.Norm.Busy), f(b.Norm.Mem), f(b.Norm.Sync), f(b.Norm.Total()),
+		})
+	}
+	return writeCSV(w, []string{"loop", "scheme", "procs", "busy", "mem", "sync", "total"}, rows)
+}
+
+// WriteCSV emits Figure 13 as loop,scheme,normalized rows.
+func (r Fig13Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows,
+			[]string{row.Loop, "Serial", f(1)},
+			[]string{row.Loop, "HW", f(row.HWNorm)},
+			[]string{row.Loop, "SW", f(row.SWNorm)})
+	}
+	return writeCSV(w, []string{"loop", "scheme", "normalized_time"}, rows)
+}
+
+// WriteCSV emits Figure 14 as loop,procs,scheme,speedup rows.
+func (r Fig14Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, s := range r.Series {
+		for i, p := range s.Procs {
+			rows = append(rows,
+				[]string{s.Loop, fmt.Sprint(p), "Ideal", f(s.Ideal[i])},
+				[]string{s.Loop, fmt.Sprint(p), "SW", f(s.SW[i])},
+				[]string{s.Loop, fmt.Sprint(p), "HW", f(s.HW[i])})
+		}
+	}
+	return writeCSV(w, []string{"loop", "procs", "scheme", "speedup"}, rows)
+}
+
+// WriteLatenciesCSV emits the §5.1 table.
+func WriteLatenciesCSV(w io.Writer) error {
+	var rows [][]string
+	for _, r := range MeasureLatencies() {
+		rows = append(rows, []string{r.Name, d(r.Paper), d(r.Configured), d(r.Measured)})
+	}
+	return writeCSV(w, []string{"level", "paper", "configured", "measured"}, rows)
+}

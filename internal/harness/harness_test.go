@@ -1,0 +1,325 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"specrt/internal/run"
+)
+
+// quickHarness shares one Quick-scale harness across shape tests (results
+// are memoized).
+var quickHarness = New(Quick)
+
+func TestLatencyTableMatchesPaper(t *testing.T) {
+	for _, r := range MeasureLatencies() {
+		if r.Measured != r.Paper {
+			t.Fatalf("%s: measured %d, paper %d", r.Name, r.Measured, r.Paper)
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	res := quickHarness.Fig11()
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if !(r.Ideal >= r.HW && r.HW >= r.SW) {
+			t.Fatalf("%s: ordering violated: Ideal %.2f HW %.2f SW %.2f", r.Loop, r.Ideal, r.HW, r.SW)
+		}
+		if r.HW <= 1 {
+			t.Fatalf("%s: HW speedup %.2f <= 1", r.Loop, r.HW)
+		}
+	}
+	// Headline claims: HW roughly twice SW, and clearly above it.
+	if res.MeanHW < res.MeanSW*1.3 {
+		t.Fatalf("HW mean %.2f not clearly above SW mean %.2f", res.MeanHW, res.MeanSW)
+	}
+	// Efficiency bands (paper: Ideal 0.4-0.8, HW 0.2-0.5, SW 0.1-0.3);
+	// allow slack at quick scale.
+	for _, r := range res.Rows {
+		if r.EffIdl < 0.2 || r.EffIdl > 1.0 {
+			t.Fatalf("%s: Ideal efficiency %.2f out of band", r.Loop, r.EffIdl)
+		}
+		if r.EffHW < 0.08 {
+			t.Fatalf("%s: HW efficiency %.2f too low", r.Loop, r.EffHW)
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	res := quickHarness.Fig12()
+	if len(res.Bars) != 16 {
+		t.Fatalf("bars = %d, want 16 (4 loops x 4 schemes)", len(res.Bars))
+	}
+	norm := map[string]map[run.Mode]float64{}
+	for _, b := range res.Bars {
+		if norm[b.Loop] == nil {
+			norm[b.Loop] = map[run.Mode]float64{}
+		}
+		norm[b.Loop][b.Mode] = b.Norm.Total()
+	}
+	for loop, m := range norm {
+		if m[run.Serial] < 0.99 || m[run.Serial] > 1.01 {
+			t.Fatalf("%s: serial bar = %.3f, want 1.0", loop, m[run.Serial])
+		}
+		if !(m[run.Ideal] <= m[run.HW] && m[run.HW] <= m[run.SW]) {
+			t.Fatalf("%s: bar ordering violated: ideal %.3f hw %.3f sw %.3f",
+				loop, m[run.Ideal], m[run.HW], m[run.SW])
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	h := New(Quick)
+	res := h.Fig13()
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.HWNorm <= 1.0 {
+			t.Fatalf("%s: failed HW %.2f should exceed Serial", r.Loop, r.HWNorm)
+		}
+		if r.SWNorm <= r.HWNorm {
+			t.Fatalf("%s: failed SW %.2f should exceed failed HW %.2f", r.Loop, r.SWNorm, r.HWNorm)
+		}
+	}
+	if res.MeanHW >= res.MeanSW {
+		t.Fatalf("mean HW %.2f >= mean SW %.2f", res.MeanHW, res.MeanSW)
+	}
+	// Paper bands: HW ≈ 1.22x, SW ≈ 1.58x. Generous bands for the
+	// synthetic workloads at quick scale.
+	if res.MeanHW > 2.5 {
+		t.Fatalf("mean HW failure cost %.2f far above paper band", res.MeanHW)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	res := quickHarness.Fig14()
+	if len(res.Series) != 3 {
+		t.Fatalf("series = %d (Ocean must be omitted)", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if s.Loop == "Ocean" {
+			t.Fatal("Ocean must not appear in Figure 14")
+		}
+		// HW dominates SW at every processor count.
+		for i := range s.Procs {
+			if s.HW[i] < s.SW[i] {
+				t.Fatalf("%s @%d procs: HW %.2f < SW %.2f", s.Loop, s.Procs[i], s.HW[i], s.SW[i])
+			}
+		}
+		// HW keeps scaling 8 -> 16.
+		if s.HW[2] <= s.HW[1]*0.95 {
+			t.Fatalf("%s: HW does not scale 8->16: %.2f -> %.2f", s.Loop, s.HW[1], s.HW[2])
+		}
+	}
+}
+
+func TestPrintersProduceTables(t *testing.T) {
+	var buf bytes.Buffer
+	h := New(Quick)
+	h.PrintFig11(&buf)
+	h.PrintFig12(&buf)
+	h.PrintFig14(&buf)
+	PrintLatencies(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure 11", "Figure 12", "Figure 14", "§5.1", "Ocean", "P3m", "Adm", "Track"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestResultMemoization(t *testing.T) {
+	h := New(Quick)
+	a := h.Result("Adm", run.HW, 4)
+	b := h.Result("Adm", run.HW, 4)
+	if a != b {
+		t.Fatal("results not memoized")
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"quick", "default", "paper", ""} {
+		if _, err := ScaleByName(name); err != nil {
+			t.Fatalf("ScaleByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Fatal("bogus scale accepted")
+	}
+}
+
+func TestAblationBitGranularity(t *testing.T) {
+	rows := quickHarness.AblationBitGranularity()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Grain {
+		case "word":
+			if r.Failures != 0 {
+				t.Fatalf("word-granularity bits failed %d times", r.Failures)
+			}
+		case "line":
+			if r.Failures == 0 {
+				t.Fatal("line-granularity bits should fail on false sharing")
+			}
+		}
+	}
+}
+
+func TestAblationReadIn(t *testing.T) {
+	rows := quickHarness.AblationReadIn()
+	for _, r := range rows {
+		if r.RICO && r.Failures != 0 {
+			t.Fatalf("read-in enabled but loop failed %d times", r.Failures)
+		}
+		if !r.RICO && r.Failures == 0 {
+			t.Fatal("read-first loop passed without read-in support")
+		}
+	}
+}
+
+func TestAblationTrackChunks(t *testing.T) {
+	rows := quickHarness.AblationTrackChunks()
+	byChunk := map[int]ChunkRow{}
+	for _, r := range rows {
+		byChunk[r.Chunk] = r
+	}
+	if byChunk[1].Failures == 0 {
+		t.Fatal("chunk 1 should fail Track's special executions")
+	}
+	if byChunk[4].Failures != 0 {
+		t.Fatalf("chunk 4 should pass, failed %d", byChunk[4].Failures)
+	}
+	if byChunk[0].Failures != 0 {
+		t.Fatal("static should pass (processor-wise)")
+	}
+}
+
+func TestAblationContention(t *testing.T) {
+	rows := quickHarness.AblationContention()
+	for _, r := range rows {
+		if r.WithContention < r.WithoutContention {
+			t.Fatalf("%s: contention made the run faster (%d vs %d)",
+				r.Loop, r.WithContention, r.WithoutContention)
+		}
+	}
+}
+
+func TestCSVOutputs(t *testing.T) {
+	h := New(Quick)
+	var buf bytes.Buffer
+	if err := h.Fig11().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Fig12().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Fig14().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLatenciesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"loop,procs,scheme,speedup", "busy,mem,sync", "level,paper"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing header %q", want)
+		}
+	}
+	if strings.Count(out, "Ocean") < 3 {
+		t.Fatal("CSV missing data rows")
+	}
+}
+
+// TestPaperScaleHeadlines validates the paper's headline numbers at full
+// scale. It takes minutes, so it only runs when SPECRT_PAPER=1.
+func TestPaperScaleHeadlines(t *testing.T) {
+	if os.Getenv("SPECRT_PAPER") == "" {
+		t.Skip("set SPECRT_PAPER=1 for the full paper-scale regression")
+	}
+	h := New(Paper)
+	f11 := h.Fig11()
+	// Paper: HW ≈ 6.7, SW ≈ 2.9 at 16 processors.
+	if f11.MeanHW < 5.0 || f11.MeanHW > 8.5 {
+		t.Fatalf("paper-scale HW mean %.2f outside [5.0, 8.5]", f11.MeanHW)
+	}
+	if f11.MeanSW < 2.0 || f11.MeanSW > 4.5 {
+		t.Fatalf("paper-scale SW mean %.2f outside [2.0, 4.5]", f11.MeanSW)
+	}
+	if f11.MeanHW < 1.5*f11.MeanSW {
+		t.Fatalf("paper-scale HW (%.2f) not ~2x SW (%.2f)", f11.MeanHW, f11.MeanSW)
+	}
+	f13 := h.Fig13()
+	if f13.MeanHW > 1.5 {
+		t.Fatalf("paper-scale HW failure cost %.2f > 1.5", f13.MeanHW)
+	}
+	if f13.MeanSW <= f13.MeanHW {
+		t.Fatalf("paper-scale SW failure cost %.2f <= HW %.2f", f13.MeanSW, f13.MeanHW)
+	}
+}
+
+func TestBarsRender(t *testing.T) {
+	var buf bytes.Buffer
+	quickHarness.PrintFig12Bars(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "█") || !strings.Contains(out, "Serial_1") {
+		t.Fatalf("bars missing: %q", out[:min(200, len(out))])
+	}
+	buf.Reset()
+	quickHarness.PrintFig13Bars(&buf)
+	if !strings.Contains(buf.String(), "Ocean-fail") {
+		t.Fatal("fig13 bars missing loops")
+	}
+}
+
+func TestAllPrintersAndAblationsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders every experiment")
+	}
+	var buf bytes.Buffer
+	quickHarness.PrintFig13(&buf)
+	quickHarness.PrintProtoStats(&buf)
+	quickHarness.PrintAblationTrackChunks(&buf)
+	quickHarness.PrintAblationContention(&buf)
+	quickHarness.PrintAblationBitGranularity(&buf)
+	quickHarness.PrintAblationReadIn(&buf)
+	quickHarness.PrintAblationEpochs(&buf)
+	quickHarness.PrintAblationSparseBackup(&buf)
+	quickHarness.PrintAblationPrivGranularity(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 13", "Protocol activity", "block size", "contention",
+		"granularity", "read-in", "overflow", "backup strategy", "superiteration",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q", want)
+		}
+	}
+	buf.Reset()
+	if err := quickHarness.Fig13().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "normalized_time") {
+		t.Fatal("fig13 CSV header missing")
+	}
+}
+
+func TestAllRunsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment set")
+	}
+	var buf bytes.Buffer
+	New(Quick).All(&buf)
+	for _, want := range []string{"Figure 11", "Figure 12", "Figure 13", "Figure 14", "§5.1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("All output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package harness
+
+import (
+	"os"
+	"testing"
+)
+
+func TestShowAll(t *testing.T) {
+	if os.Getenv("SHOW") == "" {
+		t.Skip("set SHOW=1")
+	}
+	h := New(Quick)
+	h.All(os.Stdout)
+}

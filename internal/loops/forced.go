@@ -1,0 +1,98 @@
+package loops
+
+import (
+	"specrt/internal/core"
+	"specrt/internal/run"
+	"specrt/internal/sched"
+)
+
+// Forced-failure variants for the slowdown experiment (§6.2, Figure 13):
+// "we force the failure of one instance of each of our loops."
+
+// OceanForcedFail returns one Ocean instance with a cross-iteration
+// dependence inserted between iterations 1 and 2, as the paper does.
+func OceanForcedFail() *run.Workload {
+	base := Ocean()
+	w := *base
+	w.Name = "Ocean-fail"
+	w.Executions = 1
+	inner := base.Body
+	w.Body = func(exec, iter int, c *run.Ctx) {
+		// The dependence: iteration 1 writes an element that iteration
+		// 2 reads first.
+		if iter == 1 {
+			c.Store(0, 0)
+		}
+		if iter == 2 {
+			c.Load(0, 0)
+		}
+		inner(exec, iter, c)
+	}
+	// Iteration-wise blocks so the dependent pair lands on different
+	// processors.
+	w.HWSched = sched.Config{Kind: sched.Dynamic, Chunk: 1}
+	w.SWProcWise = false
+	return &w
+}
+
+// P3mForcedFail returns the first P3m instantiation with its arrays
+// *not* privatized: running the non-privatization algorithm on them
+// fails, as in the paper.
+func P3mForcedFail(iterations int) *run.Workload {
+	base := P3m(iterations)
+	w := *base
+	w.Name = "P3m-fail"
+	w.Arrays = append([]run.ArraySpec(nil), base.Arrays...)
+	for i := range w.Arrays {
+		if w.Arrays[i].Test == core.Priv {
+			w.Arrays[i].Test = core.NonPriv
+		}
+	}
+	return &w
+}
+
+// AdmForcedFail is Adm's first instantiation without privatizing the
+// workspace array: adjacent iterations on different processors collide
+// in WK and the non-privatization test fails.
+func AdmForcedFail() *run.Workload {
+	base := Adm()
+	w := *base
+	w.Name = "Adm-fail"
+	w.Executions = 1
+	w.Arrays = append([]run.ArraySpec(nil), base.Arrays...)
+	for i := range w.Arrays {
+		if w.Arrays[i].Test == core.Priv {
+			w.Arrays[i].Test = core.NonPriv
+		}
+	}
+	w.SWProcWise = false
+	return &w
+}
+
+// TrackForcedFail runs the iteration-wise tests on a loop instantiation
+// that needs the processor-wise test to pass (§6.2): one of the special
+// executions, scheduled in single-iteration blocks so the communicating
+// pairs split across processors.
+func TrackForcedFail() *run.Workload {
+	base := Track()
+	w := *base
+	w.Name = "Track-fail"
+	w.Executions = 1
+	special := 7 // a trackSpecial execution
+	baseIter := base.Iterations
+	w.Iterations = func(int) int { return baseIter(special) }
+	inner := base.Body
+	w.Body = func(_, iter int, c *run.Ctx) { inner(special, iter, c) }
+	w.HWSched = sched.Config{Kind: sched.Dynamic, Chunk: 1}
+	w.SWSched = sched.Config{Kind: sched.Dynamic, Chunk: 1}
+	w.SWProcWise = false
+	return &w
+}
+
+// ForcedFails returns the four §6.2 forced-failure instances. p3mIters
+// caps P3m's iteration count (0 = the paper's 15,000).
+func ForcedFails(p3mIters int) []*run.Workload {
+	return []*run.Workload{
+		OceanForcedFail(), P3mForcedFail(p3mIters), AdmForcedFail(), TrackForcedFail(),
+	}
+}

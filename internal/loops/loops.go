@@ -1,0 +1,301 @@
+// Package loops re-creates the four Perfect Club loops the paper
+// evaluates (§5.2): ftrvmt.do109 from Ocean, pp.do100 from P3m, run.do20
+// from Adm, and nlfilt.do300 from Track. The original sources and inputs
+// are not redistributable; these synthetic workloads reproduce each
+// loop's *described* characteristics — execution counts, iteration
+// counts, working-set sizes, element sizes, access irregularity, load
+// (im)balance, which arrays need which run-time test, and Track's
+// 5-of-56 executions that fail the iteration-wise test but pass
+// processor-wise. The speculation schemes under study observe exactly
+// these properties, so the substitution preserves the evaluated
+// behaviour (see DESIGN.md §3).
+package loops
+
+import (
+	"specrt/internal/core"
+	"specrt/internal/run"
+	"specrt/internal/sched"
+	"specrt/internal/sim"
+)
+
+// Procs returns the processor count the paper uses for a workload:
+// Ocean runs with 8 processors due to its small iteration count; the
+// rest run with 16 (§5.2).
+func Procs(name string) int {
+	if name == "Ocean" {
+		return 8
+	}
+	return 16
+}
+
+// lcg is a tiny deterministic mixing function for synthetic index and
+// cost sequences (not math/rand: workloads must be stable across Go
+// versions).
+func lcg(x uint64) uint64 {
+	return x*6364136223846793005 + 1442695040888963407
+}
+
+// mix returns a deterministic pseudo-random value in [0, n).
+func mix(seed, i uint64, n int) int {
+	v := lcg(seed ^ lcg(i))
+	return int((v >> 33) % uint64(n))
+}
+
+// Ocean models ftrvmt.do109: executed 4129 times with 32 iterations most
+// of the time, a small working set of 258*64 complex (16-byte) elements,
+// and data accessed with different strides in different executions. The
+// array under test uses the non-privatization algorithm; accesses to it
+// are a large fraction of the loop's work (high instruction overhead for
+// the SW scheme). Good load balance: the SW scheme uses the
+// processor-wise test with static scheduling.
+func Ocean() *run.Workload {
+	const elems = 258 * 64 // complex elements, 16 B each
+	const iters = 32
+	return &run.Workload{
+		Name:       "Ocean",
+		Executions: 4129,
+		Iterations: func(exec int) int { return iters },
+		Arrays: []run.ArraySpec{
+			{Name: "FT", Elems: elems, ElemSize: 16, Test: core.NonPriv},
+		},
+		Body: func(exec, iter int, c *run.Ctx) {
+			// FFT-like butterflies over this iteration's disjoint set
+			// of elements. The stride rotates with the execution, so
+			// different executions touch memory in different orders
+			// (poor locality, as the paper observes for Ocean).
+			stride := 1 << uint(exec%5) // 1,2,4,8,16
+			perIter := elems / iters    // 516 elements
+			base := iter * perIter
+			for k := 0; k < perIter/2; k++ {
+				// Butterfly on pair (a, b) within the iteration's set.
+				a := base + (k*stride)%perIter
+				b := base + (k*stride+perIter/2)%perIter
+				c.Load(0, a)
+				c.Load(0, b)
+				c.Compute(28) // complex multiply-add
+				c.Store(0, a)
+				c.Store(0, b)
+			}
+		},
+		IdealSched: sched.Config{Kind: sched.Static},
+		HWSched:    sched.Config{Kind: sched.Static},
+		SWSched:    sched.Config{Kind: sched.Static},
+		SWProcWise: true,
+	}
+}
+
+// p3mCost returns the (highly imbalanced) interaction count of particle
+// iteration i: most particles have small neighbour lists, a few sit in
+// dense clusters.
+func p3mCost(i int) int {
+	r := mix(0xBADC0FFE, uint64(i), 1000)
+	switch {
+	case r < 850:
+		return 4 + r%8 // light
+	case r < 980:
+		return 30 + r%30 // medium
+	default:
+		return 250 + r%200 // dense cluster
+	}
+}
+
+// P3m models pp.do100: a single execution with 97,336 iterations (the
+// paper simulates 15,000), a very large working set, several 4-byte
+// arrays under the privatization test with no read-in or copy-out, and a
+// highly imbalanced load that requires dynamic scheduling.
+func P3m(iterations int) *run.Workload {
+	if iterations <= 0 {
+		iterations = 15000
+	}
+	// The grid scales with the simulated iteration count (the paper's
+	// 15,000 iterations correspond to the full 64K-cell grid), keeping
+	// the shadow-array work of the SW scheme in proportion.
+	accElems := 4096
+	for accElems < iterations*4 && accElems < 1<<16 {
+		accElems *= 2
+	}
+	fldElems := accElems / 2
+	return &run.Workload{
+		Name:       "P3m",
+		Executions: 1,
+		Iterations: func(exec int) int { return iterations },
+		Arrays: []run.ArraySpec{
+			// Per-iteration scratch accumulators: written before read
+			// within each iteration — privatizable, no read-in needed.
+			{Name: "ACC", Elems: accElems, ElemSize: 4, Test: core.Priv},
+			{Name: "FLD", Elems: fldElems, ElemSize: 4, Test: core.Priv},
+			// Particle positions: read-only, analyzable at compile
+			// time (plain protocol).
+			{Name: "POS", Elems: accElems, ElemSize: 4, Test: core.Plain},
+		},
+		Body: func(exec, iter int, c *run.Ctx) {
+			n := p3mCost(iter)
+			// Scatter-accumulate into scratch cells around the
+			// particle's (pseudo-random) grid location.
+			cell := mix(0x9E3779B9, uint64(iter), accElems-64)
+			fcell := mix(0x51ED270, uint64(iter), fldElems-8)
+			c.Load(2, cell) // position read (plain)
+			for k := 0; k < n; k++ {
+				e := cell + k%64
+				c.Store(0, e) // write scratch first...
+				c.Compute(26) // pairwise force evaluation
+				c.Load(0, e)  // ...then read it back (privatizable)
+			}
+			for k := 0; k < n/8+1; k++ {
+				c.Store(1, fcell+k%8)
+				c.Compute(14)
+				c.Load(1, fcell+k%8)
+			}
+		},
+		IdealSched: sched.Config{Kind: sched.Dynamic, Chunk: 8},
+		HWSched:    sched.Config{Kind: sched.Dynamic, Chunk: 8},
+		// The iteration-wise SW test allows dynamic scheduling too.
+		SWSched: sched.Config{Kind: sched.Dynamic, Chunk: 8},
+	}
+}
+
+// Adm models run.do20: 900 executions of 32 or 64 iterations, a small
+// working set with some arrays under the non-privatization test and some
+// under the privatization test, 8-byte elements, and good load balance
+// (processor-wise SW test with static scheduling).
+func Adm() *run.Workload {
+	const nElems = 16384 // non-privatized field, 8 B each
+	const wElems = 512   // privatized workspace
+	return &run.Workload{
+		Name:       "Adm",
+		Executions: 900,
+		Iterations: func(exec int) int {
+			if exec%2 == 0 {
+				return 32
+			}
+			return 64
+		},
+		Arrays: []run.ArraySpec{
+			{Name: "Q", Elems: nElems, ElemSize: 8, Test: core.NonPriv},
+			{Name: "WK", Elems: wElems, ElemSize: 8, Test: core.Priv},
+		},
+		Body: func(exec, iter int, c *run.Ctx) {
+			iters := 32
+			if exec%2 == 1 {
+				iters = 64
+			}
+			per := nElems / iters
+			base := iter * per
+			// Workspace: write-then-read temporary per iteration.
+			for k := 0; k < 12; k++ {
+				w := (iter*7 + k) % wElems
+				c.Store(1, w)
+				c.Compute(8)
+				c.Load(1, w)
+			}
+			// Own slice of the field: read-modify-write, disjoint
+			// across iterations.
+			for k := 0; k < per; k += 2 {
+				c.Load(0, base+k)
+				c.Compute(12)
+				c.Store(0, base+k)
+			}
+		},
+		IdealSched: sched.Config{Kind: sched.Static},
+		HWSched:    sched.Config{Kind: sched.Static},
+		SWSched:    sched.Config{Kind: sched.Static},
+		SWProcWise: true,
+	}
+}
+
+// trackSpecial reports whether execution exec is one of the 5 of 56
+// instances that are not fully parallel iteration-wise (adjacent
+// iterations communicate) yet pass the processor-wise test.
+func trackSpecial(exec int) bool {
+	switch exec {
+	case 7, 19, 28, 40, 51:
+		return true
+	}
+	return false
+}
+
+// Track models nlfilt.do300: 56 executions of 480 iterations on average,
+// a small working set with four arrays under the non-privatization test
+// (4- or 8-byte elements), a tested-access fraction that changes from
+// execution to execution (0% to 44%), load imbalance, and 5 executions
+// that fail the iteration-wise test but pass processor-wise. The SW
+// scheme must therefore use the processor-wise test with static
+// scheduling (load imbalance hurts it); the HW scheme passes with
+// dynamically scheduled small blocks (§5.2).
+func Track() *run.Workload {
+	const n = 1024 // > max iterations: per-iteration slots stay disjoint
+	arrays := []run.ArraySpec{
+		{Name: "TR1", Elems: n, ElemSize: 4, Test: core.NonPriv},
+		{Name: "TR2", Elems: n, ElemSize: 4, Test: core.NonPriv},
+		{Name: "TR3", Elems: n, ElemSize: 8, Test: core.NonPriv},
+		{Name: "TR4", Elems: n, ElemSize: 8, Test: core.NonPriv},
+		{Name: "BG", Elems: 4096, ElemSize: 4, Test: core.Plain},
+	}
+	return &run.Workload{
+		Name:       "Track",
+		Executions: 56,
+		Iterations: func(exec int) int {
+			if trackSpecial(exec) {
+				// The special executions pass the processor-wise test:
+				// their communicating pairs must not straddle chunk
+				// boundaries, so their trip count divides evenly into
+				// even-sized chunks for 4, 8 or 16 processors.
+				return 480
+			}
+			return 440 + (exec*17)%80 // ~480 average
+		},
+		Arrays: arrays,
+		Body: func(exec, iter int, c *run.Ctx) {
+			// The fraction of accesses to the arrays under test varies
+			// 0%..44% with the execution.
+			frac := (exec * 11) % 45 // percent
+			// Structurally imbalanced filter work: 64-iteration regions
+			// alternate between light and heavy, so static chunks get
+			// uneven totals while small dynamic blocks balance.
+			cost := 40 + mix(0x7EA4C3, uint64(exec*1000+iter), 60)
+			if (iter/64)%2 == 1 {
+				cost += 260
+			}
+			c.Compute(sim.Time(cost))
+			// Background (plain) accesses.
+			for k := 0; k < 6; k++ {
+				c.Load(4, (iter*13+k*7)%4096)
+			}
+			if frac == 0 {
+				return
+			}
+			touches := 1 + frac/8 // 1..6 tested accesses per iteration
+			for k := 0; k < touches; k++ {
+				arr := k % 4
+				if trackSpecial(exec) {
+					// Adjacent iterations communicate through a
+					// per-pair slot: iteration 2m writes, 2m+1 reads.
+					slot := (iter / 2) % n
+					if iter%2 == 0 {
+						c.Store(arr, slot)
+					} else {
+						c.Load(arr, slot)
+					}
+				} else {
+					// One disjoint slot per iteration, revisited by
+					// each touch.
+					slot := iter % n
+					c.Store(arr, slot)
+					c.Load(arr, slot)
+				}
+			}
+		},
+		IdealSched: sched.Config{Kind: sched.Dynamic, Chunk: 8},
+		// HW: dynamic small blocks keep communicating pairs together
+		// and balance the load.
+		HWSched: sched.Config{Kind: sched.Dynamic, Chunk: 8},
+		// SW: must use static scheduling for the processor-wise test.
+		SWSched:    sched.Config{Kind: sched.Static},
+		SWProcWise: true,
+	}
+}
+
+// All returns the four paper workloads with their default shapes.
+func All() []*run.Workload {
+	return []*run.Workload{Ocean(), P3m(0), Adm(), Track()}
+}

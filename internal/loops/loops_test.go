@@ -1,0 +1,274 @@
+package loops
+
+import (
+	"testing"
+
+	"specrt/internal/run"
+)
+
+// capped executes w with a small execution cap to keep tests fast.
+func capped(t *testing.T, w *run.Workload, mode run.Mode, procs, maxExec int) *run.Result {
+	t.Helper()
+	r, err := run.Execute(w, run.Config{
+		Procs: procs, Mode: mode, Contention: true, MaxExecutions: maxExec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestOceanParallelUnderAllSchemes(t *testing.T) {
+	for _, mode := range []run.Mode{run.Ideal, run.SW, run.HW} {
+		r := capped(t, Ocean(), mode, 8, 2)
+		if r.Failures != 0 {
+			t.Fatalf("Ocean %v failed: %v", mode, r.Verdicts)
+		}
+	}
+}
+
+func TestP3mParallelUnderAllSchemes(t *testing.T) {
+	for _, mode := range []run.Mode{run.Ideal, run.SW, run.HW} {
+		r := capped(t, P3m(300), mode, 16, 1)
+		if r.Failures != 0 {
+			t.Fatalf("P3m %v failed: %v", mode, r.Verdicts)
+		}
+	}
+}
+
+func TestAdmParallelUnderAllSchemes(t *testing.T) {
+	for _, mode := range []run.Mode{run.Ideal, run.SW, run.HW} {
+		r := capped(t, Adm(), mode, 16, 4)
+		if r.Failures != 0 {
+			t.Fatalf("Adm %v failed: %v", mode, r.Verdicts)
+		}
+	}
+}
+
+func TestTrackParallelIncludingSpecialExecutions(t *testing.T) {
+	// Cap covers execution 7, a special (iteration-wise-failing)
+	// instance: processor-wise SW and block-dynamic HW must both pass.
+	for _, mode := range []run.Mode{run.SW, run.HW} {
+		r := capped(t, Track(), mode, 16, 9)
+		if r.Failures != 0 {
+			t.Fatalf("Track %v failed: %v", mode, r.Verdicts)
+		}
+	}
+}
+
+func TestTrackSpecialFailsIterationWise(t *testing.T) {
+	w := Track()
+	w.SWProcWise = false
+	r := capped(t, w, run.SW, 16, 9) // includes special execution 7
+	if r.Failures == 0 {
+		t.Fatal("iteration-wise SW passed Track's special executions")
+	}
+	if r.Failures != 1 {
+		t.Fatalf("failures = %d, want exactly 1 in first 9 executions", r.Failures)
+	}
+}
+
+func TestHWFasterThanSWOnEachLoop(t *testing.T) {
+	cases := []struct {
+		w     *run.Workload
+		procs int
+		cap   int
+	}{
+		{Ocean(), 8, 2},
+		{P3m(400), 16, 1},
+		{Adm(), 16, 2},
+		{Track(), 16, 10},
+	}
+	for _, tc := range cases {
+		hw := capped(t, tc.w, run.HW, tc.procs, tc.cap)
+		sw := capped(t, tc.w, run.SW, tc.procs, tc.cap)
+		if hw.Cycles >= sw.Cycles {
+			t.Fatalf("%s: HW (%d) not faster than SW (%d)", tc.w.Name, hw.Cycles, sw.Cycles)
+		}
+	}
+}
+
+func TestSpeedupOrdering(t *testing.T) {
+	// Ideal >= HW >= ~SW on a representative loop.
+	w := Adm()
+	serial := capped(t, w, run.Serial, 1, 2)
+	ideal := capped(t, w, run.Ideal, 16, 2)
+	hw := capped(t, w, run.HW, 16, 2)
+	sw := capped(t, w, run.SW, 16, 2)
+	spI, spH, spS := run.Speedup(serial, ideal), run.Speedup(serial, hw), run.Speedup(serial, sw)
+	if !(spI >= spH && spH >= spS) {
+		t.Fatalf("speedup ordering violated: Ideal %.2f HW %.2f SW %.2f", spI, spH, spS)
+	}
+	if spH <= 1 {
+		t.Fatalf("HW speedup %.2f <= 1", spH)
+	}
+}
+
+func TestForcedFailuresFailUnderBothSchemes(t *testing.T) {
+	for _, w := range ForcedFails(200) {
+		procs := 16
+		if w.Name == "Ocean-fail" {
+			procs = 8
+		}
+		hw := capped(t, w, run.HW, procs, 1)
+		if hw.Failures != 1 {
+			t.Fatalf("%s: HW did not fail (failures=%d)", w.Name, hw.Failures)
+		}
+		sw := capped(t, w, run.SW, procs, 1)
+		if sw.Failures != 1 {
+			t.Fatalf("%s: SW did not fail (verdicts=%v)", w.Name, sw.Verdicts)
+		}
+		if hw.FailDetectCycles >= sw.FailDetectCycles {
+			t.Fatalf("%s: HW detected at %d, SW at %d — HW must be earlier",
+				w.Name, hw.FailDetectCycles, sw.FailDetectCycles)
+		}
+	}
+}
+
+func TestForcedFailureCostOrdering(t *testing.T) {
+	// Figure 13 shape: Serial < HW-fail < SW-fail for most loops.
+	w := AdmForcedFail()
+	serial := capped(t, w, run.Serial, 1, 1)
+	hw := capped(t, w, run.HW, 16, 1)
+	sw := capped(t, w, run.SW, 16, 1)
+	if !(serial.Cycles < hw.Cycles && hw.Cycles < sw.Cycles) {
+		t.Fatalf("failure cost ordering: serial %d, hw %d, sw %d",
+			serial.Cycles, hw.Cycles, sw.Cycles)
+	}
+}
+
+func TestAdmIterationCountsAlternate(t *testing.T) {
+	w := Adm()
+	if w.Iterations(0) != 32 || w.Iterations(1) != 64 {
+		t.Fatalf("Adm iterations = %d/%d", w.Iterations(0), w.Iterations(1))
+	}
+}
+
+func TestTrackIterationsAverageNear480(t *testing.T) {
+	w := Track()
+	sum := 0
+	for e := 0; e < w.Executions; e++ {
+		n := w.Iterations(e)
+		if n < 400 || n > 560 {
+			t.Fatalf("Track exec %d iterations = %d out of range", e, n)
+		}
+		sum += n
+	}
+	avg := sum / w.Executions
+	if avg < 460 || avg > 500 {
+		t.Fatalf("Track average iterations = %d, want ~480", avg)
+	}
+}
+
+func TestP3mCostImbalance(t *testing.T) {
+	light, heavy := 0, 0
+	for i := 0; i < 5000; i++ {
+		c := p3mCost(i)
+		if c < 12 {
+			light++
+		}
+		if c >= 250 {
+			heavy++
+		}
+	}
+	if light < 3500 {
+		t.Fatalf("light iterations = %d of 5000, want most", light)
+	}
+	if heavy == 0 {
+		t.Fatal("no heavy cluster iterations")
+	}
+}
+
+func TestProcsDefaults(t *testing.T) {
+	if Procs("Ocean") != 8 {
+		t.Fatalf("Ocean procs = %d", Procs("Ocean"))
+	}
+	for _, n := range []string{"P3m", "Adm", "Track"} {
+		if Procs(n) != 16 {
+			t.Fatalf("%s procs = %d", n, Procs(n))
+		}
+	}
+}
+
+func TestAllReturnsFour(t *testing.T) {
+	ws := All()
+	if len(ws) != 4 {
+		t.Fatalf("All() = %d workloads", len(ws))
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		names[w.Name] = true
+	}
+	for _, n := range []string{"Ocean", "P3m", "Adm", "Track"} {
+		if !names[n] {
+			t.Fatalf("missing workload %s", n)
+		}
+	}
+}
+
+func TestExecutionCountsMatchPaper(t *testing.T) {
+	if Ocean().Executions != 4129 {
+		t.Fatalf("Ocean executions = %d, want 4129", Ocean().Executions)
+	}
+	if P3m(0).Executions != 1 {
+		t.Fatalf("P3m executions = %d, want 1", P3m(0).Executions)
+	}
+	if Adm().Executions != 900 {
+		t.Fatalf("Adm executions = %d, want 900", Adm().Executions)
+	}
+	if Track().Executions != 56 {
+		t.Fatalf("Track executions = %d, want 56", Track().Executions)
+	}
+	if P3m(0).Iterations(0) != 15000 {
+		t.Fatalf("P3m default iterations = %d, want 15000", P3m(0).Iterations(0))
+	}
+}
+
+func TestTrackSpecialCount(t *testing.T) {
+	n := 0
+	for e := 0; e < 56; e++ {
+		if trackSpecial(e) {
+			n++
+		}
+	}
+	if n != 5 {
+		t.Fatalf("special executions = %d, want 5", n)
+	}
+}
+
+// Cross-scheme agreement: for every execution simulated, the HW verdict
+// (fail or pass) must match the SW verdict — both decide the same
+// question with the same conservatism for these loops.
+func TestSchemesAgreeOnEveryExecution(t *testing.T) {
+	cases := []struct {
+		w     *run.Workload
+		procs int
+		cap   int
+	}{
+		{Ocean(), 8, 3},
+		{Adm(), 16, 4},
+		{Track(), 16, 12}, // includes special execution 7
+	}
+	for _, tc := range cases {
+		for exec := 0; exec < tc.cap; exec++ {
+			w1 := singleExec(tc.w, exec)
+			hw := capped(t, w1, run.HW, tc.procs, 1)
+			sw := capped(t, w1, run.SW, tc.procs, 1)
+			if (hw.Failures > 0) != (sw.Failures > 0) {
+				t.Fatalf("%s exec %d: HW failures=%d, SW failures=%d (%v)",
+					tc.w.Name, exec, hw.Failures, sw.Failures, sw.Verdicts)
+			}
+		}
+	}
+}
+
+// singleExec narrows a workload to one of its executions.
+func singleExec(w *run.Workload, exec int) *run.Workload {
+	iter := w.Iterations
+	body := w.Body
+	w2 := *w
+	w2.Executions = 1
+	w2.Iterations = func(int) int { return iter(exec) }
+	w2.Body = func(_, it int, c *run.Ctx) { body(exec, it, c) }
+	return &w2
+}

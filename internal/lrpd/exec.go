@@ -1,0 +1,191 @@
+package lrpd
+
+import (
+	"runtime"
+	"sync"
+)
+
+// View is a worker's marked, privatized window onto the array under test
+// during a speculative doall. Reads check the worker's private written
+// values first (privatization), falling back to the pre-loop snapshot
+// (read-in); writes go to private storage only, so a failed speculation
+// never needs to restore the shared array.
+type View[T any] struct {
+	snapshot []T
+	written  map[int]privVal[T]
+	shadows  *Shadows
+	iter     int
+	// iterWritten tracks writes of the current iteration for the
+	// read-before-write conditions.
+	iterWritten map[int]bool
+	// pendingAr holds this iteration's read marks that become Ar only
+	// if no later write in the same iteration covers them ("read and
+	// not written in this iteration, neither before nor after"). The
+	// paper implements this with iteration-stamped shadow elements.
+	pendingAr map[int]bool
+}
+
+type privVal[T any] struct {
+	val  T
+	iter int // last writing iteration (1-based), for copy-out ordering
+}
+
+// beginIteration commits the previous iteration's read marks and resets
+// the per-iteration state.
+func (v *View[T]) beginIteration(iter int) {
+	v.flushAr()
+	v.iter = iter
+	for k := range v.iterWritten {
+		delete(v.iterWritten, k)
+	}
+}
+
+// flushAr commits pending read marks to Ar.
+func (v *View[T]) flushAr() {
+	for e := range v.pendingAr {
+		v.shadows.Ar[e] = true
+		delete(v.pendingAr, e)
+	}
+}
+
+// Read returns element e as the speculative execution sees it and marks
+// the read shadows.
+func (v *View[T]) Read(e int) T {
+	s := v.shadows
+	if !v.iterWritten[e] {
+		v.pendingAr[e] = true
+		s.Anp[e] = true
+		if s.MaxR1st[e] < v.iter+1 {
+			s.MaxR1st[e] = v.iter + 1
+		}
+	}
+	if pv, ok := v.written[e]; ok {
+		return pv.val
+	}
+	return v.snapshot[e]
+}
+
+// Write stores val to element e privately and marks the write shadows.
+func (v *View[T]) Write(e int, val T) {
+	s := v.shadows
+	s.Aw[e] = true
+	delete(v.pendingAr, e)
+	if !v.iterWritten[e] {
+		v.iterWritten[e] = true
+		s.Atw++
+		if s.MinW[e] == 0 || v.iter+1 < s.MinW[e] {
+			s.MinW[e] = v.iter + 1
+		}
+	}
+	v.written[e] = privVal[T]{val: val, iter: v.iter + 1}
+}
+
+// Outcome reports how a speculative doall completed.
+type Outcome struct {
+	Verdict    Verdict
+	Workers    int
+	Reexecuted bool // the test failed and the loop ran serially
+	Result     Result
+}
+
+// DoAll speculatively executes body for iterations [0, n) in parallel
+// across workers goroutines (0 means GOMAXPROCS), applying the LRPD test
+// with privatization and read-in/copy-out to the array data. Each
+// iteration accesses data only through its View; any other state touched
+// by body must be iteration-private.
+//
+// If the test passes, the privatized results are copied out to data (the
+// highest-iteration write of each element wins, matching serial
+// semantics). If it fails, data is untouched by the speculation and the
+// loop re-executes serially, so the final contents always equal a serial
+// execution.
+func DoAll[T any](data []T, n int, workers int, body func(iter int, v *View[T])) Outcome {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return Outcome{Verdict: DoallNoPriv, Workers: 0}
+	}
+	snapshot := make([]T, len(data))
+	copy(snapshot, data)
+
+	type workerState struct {
+		view    *View[T]
+		shadows *Shadows
+	}
+	states := make([]workerState, workers)
+	var wg sync.WaitGroup
+	// Static chunking: worker w runs iterations [w*n/workers, (w+1)*n/workers).
+	for w := 0; w < workers; w++ {
+		w := w
+		sh := NewShadows(len(data))
+		states[w] = workerState{
+			view: &View[T]{
+				snapshot:    snapshot,
+				written:     make(map[int]privVal[T]),
+				shadows:     sh,
+				iterWritten: make(map[int]bool),
+				pendingAr:   make(map[int]bool),
+			},
+			shadows: sh,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lo, hi := w*n/workers, (w+1)*n/workers
+			v := states[w].view
+			for i := lo; i < hi; i++ {
+				v.beginIteration(i)
+				body(i, v)
+			}
+			v.flushAr()
+		}()
+	}
+	wg.Wait()
+
+	// Merging phase.
+	global := NewShadows(len(data))
+	for _, st := range states {
+		global.Merge(st.shadows)
+	}
+	// Analysis phase with the read-in extension.
+	res := AnalyzeWithReadIn(global)
+	out := Outcome{Verdict: res.Verdict, Workers: workers, Result: res}
+	if res.Verdict == NotParallel {
+		// The shared array was never touched: "restore" is free.
+		// Re-execute serially with a pass-through view.
+		serialView := &View[T]{
+			snapshot:    data,
+			written:     make(map[int]privVal[T]),
+			shadows:     NewShadows(len(data)),
+			iterWritten: make(map[int]bool),
+			pendingAr:   make(map[int]bool),
+		}
+		for i := 0; i < n; i++ {
+			serialView.beginIteration(i)
+			body(i, serialView)
+			// Commit this iteration's writes immediately: later
+			// iterations must observe them through the snapshot.
+			for e, pv := range serialView.written {
+				data[e] = pv.val
+				delete(serialView.written, e)
+			}
+		}
+		out.Reexecuted = true
+		return out
+	}
+	// Copy-out: the last (highest-iteration) write of each element wins.
+	lastIter := make(map[int]int)
+	for _, st := range states {
+		for e, pv := range st.view.written {
+			if pv.iter > lastIter[e] {
+				lastIter[e] = pv.iter
+				data[e] = pv.val
+			}
+		}
+	}
+	return out
+}

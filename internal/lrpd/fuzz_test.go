@@ -1,0 +1,47 @@
+package lrpd
+
+import "testing"
+
+// FuzzTest decodes a byte stream into an access trace and checks the
+// LRPD invariants: no panics, verdict monotonicity, and agreement with
+// the serial-execution oracle for the read-in variant.
+func FuzzTest(f *testing.F) {
+	f.Add([]byte{0x00, 0x81, 0x02})
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const elems = 8
+		var ops []Op
+		iter := 0
+		for i, b := range data {
+			if i > 64 {
+				break
+			}
+			if b&0x40 != 0 {
+				iter++ // serial order: iterations only advance
+			}
+			ops = append(ops, Op{
+				Iter:  iter,
+				Elem:  int(b % elems),
+				Write: b&0x80 != 0,
+			})
+		}
+		noPriv := Test(elems, ops, false).Verdict
+		priv := Test(elems, ops, true).Verdict
+		readIn := TestWithReadIn(elems, ops).Verdict
+		// Monotonicity: each extension can only admit more loops.
+		if noPriv == DoallNoPriv && priv == NotParallel {
+			t.Fatalf("priv weaker than no-priv: %v -> %v", noPriv, priv)
+		}
+		if priv != NotParallel && readIn == NotParallel {
+			t.Fatalf("read-in weaker than priv: %v -> %v", priv, readIn)
+		}
+		// Oracle agreement (trace is in serial order by construction).
+		want := Oracle(elems, ops) != NotParallel
+		got := readIn != NotParallel
+		if got != want {
+			t.Fatalf("read-in verdict %v disagrees with oracle (parallel=%t) for %v",
+				readIn, want, ops)
+		}
+	})
+}

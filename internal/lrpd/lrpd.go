@@ -1,0 +1,365 @@
+// Package lrpd implements the software LRPD test of Rauchwerger and Padua
+// that the paper uses as its baseline (§2): speculative run-time
+// parallelization of loops with privatization, using shadow arrays marked
+// during a speculative doall execution and analyzed afterwards.
+//
+// Two layers are provided:
+//
+//   - A pure test (Test, TestWithReadIn) over recorded access traces:
+//     the Marking and Analysis phases of §2.2.2, including the
+//     privatization conditions and the read-in extension of §2.2.3.
+//     The simulated SW scheme of package run uses these semantics for
+//     its pass/fail ground truth.
+//
+//   - A real, host-parallel speculative executor (DoAll) that runs a Go
+//     loop body across goroutines with per-worker privatized storage and
+//     shadow marking, merges and analyzes the shadows, and either
+//     copies out the speculative results (test passed) or re-executes
+//     the loop serially (test failed). This is a usable library in its
+//     own right.
+package lrpd
+
+import "fmt"
+
+// Op is one access to the array under test, recorded in program order.
+type Op struct {
+	Iter  int  // iteration executing the access (0-based)
+	Elem  int  // element index
+	Write bool // true for a store
+}
+
+// Verdict classifies a loop with respect to one array under test.
+type Verdict uint8
+
+const (
+	// NotParallel: a cross-iteration flow dependence (or an
+	// unremovable pattern) was detected; the loop must run serially.
+	NotParallel Verdict = iota
+	// DoallNoPriv: the loop is fully parallel as-is.
+	DoallNoPriv
+	// DoallWithPriv: the loop is fully parallel after privatizing the
+	// array.
+	DoallWithPriv
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case NotParallel:
+		return "not-parallel"
+	case DoallNoPriv:
+		return "doall"
+	case DoallWithPriv:
+		return "doall-with-privatization"
+	}
+	return fmt.Sprintf("Verdict(%d)", uint8(v))
+}
+
+// Shadows holds the marking-phase shadow arrays of §2.2.2 for inspection
+// and for the merging phase of the parallel implementation.
+type Shadows struct {
+	Ar  []bool // read and not written in the same iteration
+	Aw  []bool // written
+	Anp []bool // read before any same-iteration write (non-privatizable)
+	Atw int    // total (per-iteration distinct) elements written
+	// MinW and MaxR1st support the read-in extension (§2.2.3): lowest
+	// writing iteration and highest read-first iteration per element,
+	// using 1-based iterations; 0 means none.
+	MinW    []int
+	MaxR1st []int
+}
+
+// NewShadows allocates zeroed shadow arrays for an array of n elements.
+func NewShadows(n int) *Shadows {
+	return &Shadows{
+		Ar:      make([]bool, n),
+		Aw:      make([]bool, n),
+		Anp:     make([]bool, n),
+		MinW:    make([]int, n),
+		MaxR1st: make([]int, n),
+	}
+}
+
+// Merge folds other into s (the merging phase: private shadow arrays are
+// merged into the global ones).
+func (s *Shadows) Merge(other *Shadows) {
+	for i := range s.Ar {
+		s.Ar[i] = s.Ar[i] || other.Ar[i]
+		s.Aw[i] = s.Aw[i] || other.Aw[i]
+		s.Anp[i] = s.Anp[i] || other.Anp[i]
+		if other.MinW[i] != 0 && (s.MinW[i] == 0 || other.MinW[i] < s.MinW[i]) {
+			s.MinW[i] = other.MinW[i]
+		}
+		if other.MaxR1st[i] > s.MaxR1st[i] {
+			s.MaxR1st[i] = other.MaxR1st[i]
+		}
+	}
+	s.Atw += other.Atw
+}
+
+// Mark runs the marking phase over ops. Accesses of one iteration must
+// appear in program order relative to each other, but iterations may
+// interleave arbitrarily (as they do in a parallel execution, or after
+// the processor-wise super-iteration mapping): ops are grouped by
+// iteration before marking.
+func (s *Shadows) Mark(ops []Op) {
+	groups := make(map[int][]Op)
+	var order []int
+	for _, op := range ops {
+		if _, seen := groups[op.Iter]; !seen {
+			order = append(order, op.Iter)
+		}
+		groups[op.Iter] = append(groups[op.Iter], op)
+	}
+	for _, iter := range order {
+		s.markIteration(groups[iter])
+	}
+}
+
+// markIteration applies §2.2.2 step 1 to the accesses of one iteration.
+func (s *Shadows) markIteration(ops []Op) {
+	if len(ops) == 0 {
+		return
+	}
+	iter := ops[0].Iter
+	// writtenInIter: elements written anywhere in this iteration
+	// (needed for the "neither before nor after" read condition).
+	writtenInIter := make(map[int]bool)
+	for _, op := range ops {
+		if op.Write {
+			writtenInIter[op.Elem] = true
+		}
+	}
+	writtenSoFar := make(map[int]bool)
+	readFirst := make(map[int]bool)
+	for _, op := range ops {
+		if op.Write {
+			s.Aw[op.Elem] = true
+			if !writtenSoFar[op.Elem] {
+				writtenSoFar[op.Elem] = true
+			}
+			if s.MinW[op.Elem] == 0 || iter+1 < s.MinW[op.Elem] {
+				s.MinW[op.Elem] = iter + 1
+			}
+			continue
+		}
+		// Read.
+		if !writtenInIter[op.Elem] {
+			s.Ar[op.Elem] = true
+		}
+		if !writtenSoFar[op.Elem] {
+			s.Anp[op.Elem] = true
+			if !readFirst[op.Elem] {
+				readFirst[op.Elem] = true
+				if iter+1 > s.MaxR1st[op.Elem] {
+					s.MaxR1st[op.Elem] = iter + 1
+				}
+			}
+		}
+	}
+	s.Atw += len(writtenInIter)
+}
+
+// Result is the outcome of the analysis phase.
+type Result struct {
+	Verdict Verdict
+	// Atm is the number of distinct elements written (analysis step a).
+	Atm int
+	// Atw is copied from the shadows for reporting.
+	Atw int
+	// FailedElem is the first element that failed a test, or -1.
+	FailedElem int
+}
+
+// Analyze runs the analysis phase of §2.2.2 (steps a-e) on merged
+// shadows. privatized selects whether the array was speculatively
+// privatized (enabling steps d-e).
+func Analyze(s *Shadows, privatized bool) Result {
+	res := Result{Atw: s.Atw, FailedElem: -1}
+	for i := range s.Aw {
+		if s.Aw[i] {
+			res.Atm++
+		}
+	}
+	// (b) any(Aw && Ar): an element written in one iteration and read
+	// (without writing) in another — flow or anti dependence.
+	for i := range s.Aw {
+		if s.Aw[i] && s.Ar[i] {
+			res.FailedElem = i
+			if !privatized {
+				res.Verdict = NotParallel
+				return res
+			}
+			break
+		}
+	}
+	if res.FailedElem == -1 && res.Atw == res.Atm {
+		// (c) no two iterations wrote the same element: doall without
+		// privatization.
+		res.Verdict = DoallNoPriv
+		return res
+	}
+	if !privatized {
+		// Writes collided (Atw != Atm) and we may not privatize.
+		if res.FailedElem == -1 {
+			res.FailedElem = firstCollision(s)
+		}
+		res.Verdict = NotParallel
+		return res
+	}
+	// (d) any(Aw && Anp): an element read before being written and also
+	// written — not privatizable.
+	for i := range s.Aw {
+		if s.Aw[i] && s.Anp[i] {
+			res.FailedElem = i
+			res.Verdict = NotParallel
+			return res
+		}
+	}
+	// (e) privatization made the loop a doall.
+	res.FailedElem = -1
+	res.Verdict = DoallWithPriv
+	return res
+}
+
+// firstCollision finds an element written by more than one iteration; it
+// exists whenever Atw != Atm. Used only for failure reporting, so a
+// linear rescan is fine.
+func firstCollision(s *Shadows) int {
+	// Atw counts per-iteration distinct writes; if it exceeds Atm some
+	// element was written in two iterations, but the bit shadows alone
+	// cannot identify it. Report the first written element.
+	for i := range s.Aw {
+		if s.Aw[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// AnalyzeWithReadIn runs the extended analysis of §2.2.3: a loop is still
+// parallel (with privatization, read-in and copy-out) if every read-first
+// access in iteration i has no write in any earlier iteration:
+// MaxR1st(e) <= MinW(e) for every element e. Output dependences (multiple
+// writers) are resolved by copy-out in iteration order.
+func AnalyzeWithReadIn(s *Shadows) Result {
+	res := Analyze(s, true)
+	if res.Verdict != NotParallel {
+		return res
+	}
+	for i := range s.Aw {
+		if s.MaxR1st[i] != 0 && s.MinW[i] != 0 && s.MaxR1st[i] > s.MinW[i] {
+			return Result{Verdict: NotParallel, Atm: res.Atm, Atw: res.Atw, FailedElem: i}
+		}
+	}
+	return Result{Verdict: DoallWithPriv, Atm: res.Atm, Atw: res.Atw, FailedElem: -1}
+}
+
+// Test runs marking and analysis over a full trace for an array of elems
+// elements. It is the iteration-wise test; for the processor-wise variant
+// map each op's Iter to its processor ID first (ProcessorWise).
+func Test(elems int, ops []Op, privatized bool) Result {
+	s := NewShadows(elems)
+	s.Mark(ops)
+	return Analyze(s, privatized)
+}
+
+// TestWithReadIn is Test with the §2.2.3 read-in extension.
+func TestWithReadIn(elems int, ops []Op) Result {
+	s := NewShadows(elems)
+	s.Mark(ops)
+	return AnalyzeWithReadIn(s)
+}
+
+// ProcessorWise rewrites a trace for the processor-wise test (§2.2.3):
+// each processor's chunk of contiguous iterations becomes one
+// super-iteration. chunkOf maps an iteration to its processor.
+func ProcessorWise(ops []Op, chunkOf func(iter int) int) []Op {
+	out := make([]Op, len(ops))
+	for i, op := range ops {
+		out[i] = Op{Iter: chunkOf(op.Iter), Elem: op.Elem, Write: op.Write}
+	}
+	return out
+}
+
+// Oracle decides ground truth by simulating the loop serially: the loop
+// is a doall (with privatization and read-in/copy-out) iff every read
+// that is not preceded by a same-iteration write reads a value no earlier
+// iteration wrote. It is used by property tests to validate the shadow
+// algorithms. Returns the strongest verdict the access pattern admits.
+func Oracle(elems int, ops []Op) Verdict {
+	// Strongest-to-weakest: doall, doall-with-priv, not-parallel.
+	writersPerElem := make(map[int]map[int]bool) // elem -> set of iters that write
+	readNoWriteIter := make(map[int]map[int]bool)
+	firstWrite := make(map[int]int) // elem -> earliest writing iteration
+	type key struct{ iter, elem int }
+	writtenBefore := make(map[key]bool)
+	flow := false
+	for i := 0; i < len(ops); {
+		j := i
+		iter := ops[i].Iter
+		inIterWritten := map[int]bool{}
+		for j < len(ops) && ops[j].Iter == iter {
+			op := ops[j]
+			if op.Write {
+				inIterWritten[op.Elem] = true
+				if w := writersPerElem[op.Elem]; w == nil {
+					writersPerElem[op.Elem] = map[int]bool{iter: true}
+				} else {
+					w[iter] = true
+				}
+				if fw, ok := firstWrite[op.Elem]; !ok || iter < fw {
+					firstWrite[op.Elem] = iter
+				}
+				writtenBefore[key{iter, op.Elem}] = true
+			} else {
+				if !writtenBefore[key{iter, op.Elem}] {
+					// Read-first in this iteration: flow dependence iff
+					// some earlier iteration writes the element.
+					if fw, ok := firstWrite[op.Elem]; ok && fw < iter {
+						flow = true
+					}
+					if m := readNoWriteIter[op.Elem]; m == nil {
+						readNoWriteIter[op.Elem] = map[int]bool{iter: true}
+					} else {
+						m[iter] = true
+					}
+				}
+			}
+			j++
+		}
+		// Reads after writes in the same iteration are fine.
+		i = j
+	}
+	// Note: ops must arrive with iterations in increasing order for
+	// firstWrite comparisons to be exact; callers generating traces
+	// serially satisfy this.
+	if flow {
+		return NotParallel
+	}
+	// doall without privatization: every element written by at most one
+	// iteration and never both written and read-without-write across
+	// iterations.
+	doall := true
+	for e, ws := range writersPerElem {
+		if len(ws) > 1 {
+			doall = false
+			break
+		}
+		for riter := range readNoWriteIter[e] {
+			var witer int
+			for w := range ws {
+				witer = w
+			}
+			if riter != witer {
+				doall = false
+			}
+		}
+		if !doall {
+			break
+		}
+	}
+	if doall {
+		return DoallNoPriv
+	}
+	return DoallWithPriv
+}

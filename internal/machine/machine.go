@@ -1,0 +1,291 @@
+// Package machine assembles the simulated CC-NUMA multiprocessor: one
+// processor per node, each with a direct-mapped primary and secondary
+// cache, a slice of the distributed global memory, and the corresponding
+// section of the directory (§5.1). The caches are kept coherent with a
+// DASH-like invalidation protocol in which all transactions for a line
+// serialize at its home directory.
+//
+// The package implements the *plain* coherence protocol and exposes the
+// transaction skeleton (Probe, FetchRead, FetchWrite, SendToHome,
+// SendToProc) that package core composes into the paper's speculation
+// protocols. Access bits travel with lines on fills and writebacks; the
+// plain protocol ignores them.
+//
+// Timing model: a memory access is simulated transactionally at issue
+// time. The full protocol walk computes a latency from unloaded hop costs
+// (Latencies) plus deterministic FIFO queueing at each home node's
+// directory/memory server, and mutates cache and directory state
+// atomically. Update messages that the speculation protocols send without
+// stalling the processor (First_update, ROnly_update, read-first and
+// first-write signals) are instead *deferred*: they are scheduled as
+// engine events after the one-way network latency, so they genuinely race
+// with later accesses, exactly the races §3.2 discusses. The global
+// network itself is a constant per-hop latency, as in the paper.
+package machine
+
+import (
+	"fmt"
+
+	"specrt/internal/abits"
+	"specrt/internal/cache"
+	"specrt/internal/directory"
+	"specrt/internal/mem"
+	"specrt/internal/sim"
+)
+
+// Latencies are unloaded round-trip costs in cycles (§5.1: "1, 12, 60, 208
+// and 291 cycles on average ... they increase with resource contention").
+type Latencies struct {
+	L1Hit      sim.Time // round trip to on-chip primary cache
+	L2Hit      sim.Time // round trip to off-chip secondary cache
+	LocalMem   sim.Time // memory in the local node
+	Remote2Hop sim.Time // memory in a remote node, 2 hops
+	Remote3Hop sim.Time // memory in a remote node, 3 hops (dirty third node)
+
+	// MsgHop is the one-way network latency of a protocol message that
+	// does not carry a data line (bit updates, invalidation singletons).
+	MsgHop sim.Time
+
+	// HomeOccLine and HomeOccMsg are the cycles the home node's
+	// directory+memory pipeline is occupied by a line transaction and by
+	// a bit-update message respectively; they produce queueing delay.
+	HomeOccLine sim.Time
+	HomeOccMsg  sim.Time
+}
+
+// DefaultLatencies returns the paper's §5.1 figures plus occupancy values
+// chosen so that a loaded 16-processor machine shows the paper's
+// contention behaviour.
+func DefaultLatencies() Latencies {
+	return Latencies{
+		L1Hit:       1,
+		L2Hit:       12,
+		LocalMem:    60,
+		Remote2Hop:  208,
+		Remote3Hop:  291,
+		MsgHop:      70, // ≈ (Remote2Hop - LocalMem) / 2
+		HomeOccLine: 20,
+		HomeOccMsg:  6,
+	}
+}
+
+// Config describes the simulated machine.
+type Config struct {
+	Procs      int // one processor per node
+	L1, L2     cache.Config
+	Lat        Latencies
+	Contention bool // model queueing at home nodes
+	// StallWrites makes processors wait for write misses instead of
+	// retiring them into a write buffer. The paper's machine does not
+	// stall (§5.1); this knob exists for the ablation.
+	StallWrites bool
+}
+
+// DefaultConfig returns the paper's machine: 200-MHz processors with a
+// 32-Kbyte on-chip primary cache and a 512-Kbyte off-chip secondary cache,
+// both direct-mapped with 64-byte lines (§5.1).
+func DefaultConfig(procs int) Config {
+	return Config{
+		Procs:      procs,
+		L1:         cache.Config{SizeBytes: 32 * 1024, LineBytes: 64},
+		L2:         cache.Config{SizeBytes: 512 * 1024, LineBytes: 64},
+		Lat:        DefaultLatencies(),
+		Contention: true,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Procs <= 0 || c.Procs > 64 {
+		return fmt.Errorf("machine: procs must be in [1,64], got %d", c.Procs)
+	}
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	if err := c.L2.Validate(); err != nil {
+		return err
+	}
+	if c.L1.LineBytes != c.L2.LineBytes {
+		return fmt.Errorf("machine: L1/L2 line sizes differ (%d vs %d)", c.L1.LineBytes, c.L2.LineBytes)
+	}
+	if c.L1.SizeBytes > c.L2.SizeBytes {
+		return fmt.Errorf("machine: L1 larger than L2 violates inclusion")
+	}
+	return nil
+}
+
+// Proc is one processor with its private cache hierarchy. Node ID equals
+// processor ID.
+type Proc struct {
+	ID int
+	L1 *cache.Cache
+	L2 *cache.Cache
+}
+
+// Stats counts protocol events machine-wide.
+type Stats struct {
+	Reads         uint64
+	Writes        uint64
+	L1Hits        uint64
+	L2Hits        uint64
+	Fetch2Hop     uint64 // includes local-home fills
+	Fetch3Hop     uint64
+	Upgrades      uint64
+	Invalidations uint64
+	Writebacks    uint64 // forced and eviction writebacks to home
+	Messages      uint64 // deferred protocol messages (bit updates)
+}
+
+// Machine is the simulated multiprocessor.
+type Machine struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Space *mem.Space
+	Procs []*Proc
+	Dirs  []*directory.Directory
+	Home  []sim.Server
+	Stats Stats
+
+	// OnDirtyWriteback, if set, receives the access bits of every dirty
+	// line that reaches its home (forced writebacks and evictions), so
+	// the speculation layer can merge tag state into its directory
+	// tables (Figure 6-(e)). owner is the processor that held the line
+	// dirty; bits may be nil for plain lines.
+	OnDirtyWriteback func(owner int, line mem.Addr, bits []abits.Word)
+
+	// OnFail, if set, receives errors raised by deferred protocol
+	// messages (speculation FAILs detected at a directory).
+	OnFail func(err error)
+
+	lineBytes mem.Addr
+
+	// msgq holds in-flight deferred messages per (source, home) pair.
+	// The paper's algorithms assume in-order delivery of messages; a
+	// processor's synchronous transaction to a home therefore drains its
+	// own earlier messages to that home first (see SendToHome).
+	msgq map[[2]int][]*pendingMsg
+}
+
+// pendingMsg is one in-flight deferred protocol message.
+type pendingMsg struct {
+	fn   func() error
+	done bool
+}
+
+// New builds a machine; the configuration must be valid.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Cfg:       cfg,
+		Eng:       sim.NewEngine(),
+		Space:     mem.NewSpace(cfg.Procs),
+		Procs:     make([]*Proc, cfg.Procs),
+		Dirs:      make([]*directory.Directory, cfg.Procs),
+		Home:      make([]sim.Server, cfg.Procs),
+		lineBytes: mem.Addr(cfg.L1.LineBytes),
+		msgq:      make(map[[2]int][]*pendingMsg),
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		m.Procs[i] = &Proc{ID: i, L1: cache.New(cfg.L1), L2: cache.New(cfg.L2)}
+		m.Dirs[i] = directory.New(i)
+	}
+	return m, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// LineAddr returns the line-aligned base of a.
+func (m *Machine) LineAddr(a mem.Addr) mem.Addr { return a &^ (m.lineBytes - 1) }
+
+// LineBytes returns the coherence line size.
+func (m *Machine) LineBytes() int { return int(m.lineBytes) }
+
+// HomeOf returns the home node of address a.
+func (m *Machine) HomeOf(a mem.Addr) int { return m.Space.HomeNode(a) }
+
+// Dir returns the directory entry for the line containing a, at its home.
+func (m *Machine) Dir(a mem.Addr) *directory.Entry {
+	return m.Dirs[m.HomeOf(a)].Entry(m.LineAddr(a))
+}
+
+// homeVisit charges the queueing delay of one transaction at home node h
+// arriving at time now, returning the delay.
+func (m *Machine) homeVisit(h int, now sim.Time, occ sim.Time) sim.Time {
+	if !m.Cfg.Contention {
+		return 0
+	}
+	start := m.Home[h].Acquire(now, occ)
+	return start - now
+}
+
+// FlushCaches empties every cache (dirty lines are handed to
+// OnDirtyWriteback) and resets directory state. The paper flushes all
+// caches between loop executions to mimic real conditions (§5.2). The
+// flush is a state reset, not a timed operation.
+func (m *Machine) FlushCaches() {
+	for _, p := range m.Procs {
+		owner := p.ID
+		l2 := p.L2
+		// Fold each dirty L1 line's (authoritative) state and bits into
+		// its L2 copy before flushing, exactly as an eviction would;
+		// the writeback below then carries the freshest tags.
+		p.L1.FlushAll(func(l cache.Line) {
+			if fr := l2.Lookup(l.Tag); fr != nil {
+				fr.State = cache.Dirty
+				if l.Bits != nil {
+					fr.Bits = append([]abits.Word(nil), l.Bits...)
+				}
+			} else if m.OnDirtyWriteback != nil {
+				m.OnDirtyWriteback(owner, l.Tag, l.Bits)
+			}
+		})
+		l2.FlushAll(func(l cache.Line) {
+			if m.OnDirtyWriteback != nil {
+				m.OnDirtyWriteback(owner, l.Tag, l.Bits)
+			}
+		})
+	}
+	for _, d := range m.Dirs {
+		d.Reset()
+	}
+	m.ResetMessages()
+}
+
+// ResetMessages discards all in-flight deferred messages. Used when a
+// speculative execution is aborted or between loop executions; any engine
+// events still scheduled for these messages become no-ops.
+func (m *Machine) ResetMessages() {
+	for k, q := range m.msgq {
+		for _, msg := range q {
+			msg.done = true
+		}
+		delete(m.msgq, k)
+	}
+}
+
+// ClearAllBits applies the general access-bit reset to every cache (§4.1,
+// beginning of a speculative loop).
+func (m *Machine) ClearAllBits() {
+	for _, p := range m.Procs {
+		p.L1.ClearBits(nil, func(abits.Word) abits.Word { return 0 })
+		p.L2.ClearBits(nil, func(abits.Word) abits.Word { return 0 })
+	}
+}
+
+// ClearBitsRange applies a qualified reset: mutate runs on the access bits
+// of every cached line whose address lies within [base, end) (§4.1,
+// per-iteration reset of privatized lines, selected by address bits).
+func (m *Machine) ClearBitsRange(p int, base, end mem.Addr, mutate func(abits.Word) abits.Word) {
+	keep := func(line mem.Addr) bool { return line >= base && line < end }
+	m.Procs[p].L1.ClearBits(keep, mutate)
+	m.Procs[p].L2.ClearBits(keep, mutate)
+}

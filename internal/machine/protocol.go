@@ -1,0 +1,418 @@
+package machine
+
+import (
+	"specrt/internal/abits"
+	"specrt/internal/cache"
+	"specrt/internal/directory"
+	"specrt/internal/mem"
+	"specrt/internal/sim"
+)
+
+// Probe looks the address up in p's cache hierarchy. On an L1 hit it
+// returns the L1 frame and the L1 latency. On an L2 hit the line is
+// promoted into L1 (carrying its access bits) and the L1 frame and L2
+// latency are returned. On a full miss it returns (nil, 0, false).
+func (m *Machine) Probe(p int, a mem.Addr) (*cache.Line, sim.Time, bool) {
+	pr := m.Procs[p]
+	if fr := pr.L1.Probe(a); fr != nil {
+		m.Stats.L1Hits++
+		return fr, m.Cfg.Lat.L1Hit, true
+	}
+	if fr := pr.L2.Probe(a); fr != nil {
+		m.Stats.L2Hits++
+		l1fr := m.installL1(p, fr.Tag, fr.State, fr.Bits)
+		return l1fr, m.Cfg.Lat.L2Hit, true
+	}
+	return nil, 0, false
+}
+
+// installL1 places a line in L1, merging any displaced line back into L2
+// (or straight to home if its L2 copy is gone).
+func (m *Machine) installL1(p int, line mem.Addr, st cache.State, bits []abits.Word) *cache.Line {
+	pr := m.Procs[p]
+	victim, evicted := pr.L1.Install(line, st, bits)
+	if evicted {
+		if l2fr := pr.L2.Lookup(victim.Tag); l2fr != nil {
+			// Inclusion: fold the (possibly newer) L1 state and bits
+			// into the L2 copy.
+			if victim.State == cache.Dirty {
+				l2fr.State = cache.Dirty
+			}
+			if victim.Bits != nil {
+				l2fr.Bits = append(l2fr.Bits[:0], victim.Bits...)
+			}
+		} else if victim.State == cache.Dirty {
+			m.writebackToHome(p, victim)
+		}
+	}
+	return pr.L1.Lookup(line)
+}
+
+// installBoth places a fetched line into L2 and L1.
+func (m *Machine) installBoth(p int, line mem.Addr, st cache.State, bits []abits.Word) *cache.Line {
+	pr := m.Procs[p]
+	victim, evicted := pr.L2.Install(line, st, bits)
+	if evicted {
+		// Inclusion: the L1 copy (if any) holds the freshest state.
+		if l1old, ok := pr.L1.Invalidate(victim.Tag); ok {
+			if l1old.State == cache.Dirty {
+				victim.State = cache.Dirty
+			}
+			if l1old.Bits != nil {
+				victim.Bits = l1old.Bits
+			}
+		}
+		if victim.State == cache.Dirty {
+			m.writebackToHome(p, victim)
+		}
+	}
+	return m.installL1(p, line, st, bits)
+}
+
+// writebackToHome retires a dirty evicted line: the home directory entry
+// returns to Uncached and the line's access-bit tags are merged into the
+// home's tables (Figure 6-(e): "Home receives a dirty line displaced from
+// a cache"). The directory state change is immediate; the traffic cost is
+// charged to the home server.
+func (m *Machine) writebackToHome(owner int, victim cache.Line) {
+	m.Stats.Writebacks++
+	h := m.HomeOf(victim.Tag)
+	e := m.Dirs[h].Entry(victim.Tag)
+	e.ClearToUncached()
+	if m.Cfg.Contention {
+		m.Home[h].Acquire(m.Eng.Now()+m.Cfg.Lat.MsgHop, m.Cfg.Lat.HomeOccLine)
+	}
+	if m.OnDirtyWriteback != nil {
+		m.OnDirtyWriteback(owner, victim.Tag, victim.Bits)
+	}
+}
+
+// takeProcLine removes the line from p's caches and returns the freshest
+// copy (L1 bits and state win over L2 under inclusion).
+func (m *Machine) takeProcLine(p int, line mem.Addr) (cache.Line, bool) {
+	pr := m.Procs[p]
+	l1, ok1 := pr.L1.Invalidate(line)
+	l2, ok2 := pr.L2.Invalidate(line)
+	switch {
+	case ok1 && ok2:
+		if l1.State == cache.Dirty {
+			l2.State = cache.Dirty
+		}
+		if l1.Bits != nil {
+			l2.Bits = l1.Bits
+		}
+		return l2, true
+	case ok2:
+		return l2, true
+	case ok1:
+		return l1, true
+	}
+	return cache.Line{}, false
+}
+
+// downgradeProcLine moves p's copy of line to Clean and returns the
+// freshest contents for the writeback.
+func (m *Machine) downgradeProcLine(p int, line mem.Addr) (cache.Line, bool) {
+	pr := m.Procs[p]
+	l1, ok1 := pr.L1.Downgrade(line)
+	l2, ok2 := pr.L2.Downgrade(line)
+	switch {
+	case ok1 && ok2:
+		if l1.State == cache.Dirty {
+			l2.State = cache.Dirty
+		}
+		if l1.Bits != nil {
+			l2.Bits = l1.Bits
+		}
+		return l2, true
+	case ok2:
+		return l2, true
+	case ok1:
+		return l1, true
+	}
+	return cache.Line{}, false
+}
+
+// HomeVisitFn runs while a fetch transaction is being serviced at the home
+// directory, after any dirty owner's copy has been written back; wb is the
+// written-back line (nil when there was none) and wbOwner the processor
+// that held it dirty. It returns the access bits to install with the line
+// in the requester's caches (nil for a plain line) and a non-nil error to
+// abort the transaction (a speculation FAIL).
+type HomeVisitFn func(wb *cache.Line, wbOwner int) ([]abits.Word, error)
+
+// FetchRead services a read miss: the line containing a is brought into
+// p's caches in Clean state. If atHome is nil the plain protocol applies
+// (writeback bits are forwarded to OnDirtyWriteback).
+func (m *Machine) FetchRead(p int, a mem.Addr, atHome HomeVisitFn) (sim.Time, error) {
+	line := m.LineAddr(a)
+	h := m.HomeOf(line)
+	m.DrainMessages(p, h) // in-order delivery per (source, home)
+	lat := m.homeVisit(h, m.Eng.Now(), m.Cfg.Lat.HomeOccLine)
+
+	e := m.Dirs[h].Entry(line)
+	var wb *cache.Line
+	wbOwner := -1
+	threeHop := false
+	if e.State == directory.Dirty && e.Owner != p {
+		// Send writeback request to owner node; owner keeps a Clean copy.
+		m.Stats.Writebacks++
+		m.Dirs[h].Stats.WritebackReqs++
+		owner := e.Owner
+		if old, ok := m.downgradeProcLine(owner, line); ok {
+			wb = &old
+			wbOwner = owner
+		}
+		e.ClearToUncached()
+		e.AddSharer(owner)
+		threeHop = true
+	}
+
+	bits, err := m.visitHome(line, wb, wbOwner, atHome)
+	if err != nil {
+		return lat + m.hopLatency(p, h, threeHop), err
+	}
+
+	if threeHop {
+		m.Stats.Fetch3Hop++
+	} else {
+		m.Stats.Fetch2Hop++
+	}
+	e.AddSharer(p)
+	m.installBoth(p, line, cache.Clean, bits)
+	return lat + m.hopLatency(p, h, threeHop), nil
+}
+
+// FetchWrite services a write miss or an upgrade from Clean: other copies
+// are invalidated, a dirty owner is forced to write back, and the line is
+// installed Dirty in p's caches. The returned latency is the transaction
+// latency; callers model non-stalling writes by charging the processor
+// only a single cycle.
+func (m *Machine) FetchWrite(p int, a mem.Addr, atHome HomeVisitFn) (sim.Time, error) {
+	line := m.LineAddr(a)
+	h := m.HomeOf(line)
+	m.DrainMessages(p, h) // in-order delivery per (source, home)
+	lat := m.homeVisit(h, m.Eng.Now(), m.Cfg.Lat.HomeOccLine)
+
+	e := m.Dirs[h].Entry(line)
+	var wb *cache.Line
+	wbOwner := -1
+	threeHop := false
+	upgrade := false
+	switch e.State {
+	case directory.Shared:
+		upgrade = e.Sharers.Has(p)
+		e.Sharers.ForEach(func(s int) {
+			if s == p {
+				return
+			}
+			m.Stats.Invalidations++
+			m.Dirs[h].Stats.Invalidations++
+			m.takeProcLine(s, line)
+		})
+	case directory.Dirty:
+		if e.Owner != p {
+			m.Stats.Writebacks++
+			m.Dirs[h].Stats.WritebackReqs++
+			if old, ok := m.takeProcLine(e.Owner, line); ok {
+				wb = &old
+				wbOwner = e.Owner
+			}
+			threeHop = true
+		}
+	}
+
+	bits, err := m.visitHome(line, wb, wbOwner, atHome)
+	if err != nil {
+		return lat + m.hopLatency(p, h, threeHop), err
+	}
+
+	if upgrade {
+		m.Stats.Upgrades++
+	} else if threeHop {
+		m.Stats.Fetch3Hop++
+	} else {
+		m.Stats.Fetch2Hop++
+	}
+	e.SetDirty(p)
+	// On an upgrade the requester keeps its own bits unless the home
+	// supplied fresh ones.
+	if upgrade && bits == nil {
+		if fr := m.Procs[p].L1.Lookup(line); fr != nil {
+			bits = fr.Bits
+		} else if fr := m.Procs[p].L2.Lookup(line); fr != nil {
+			bits = fr.Bits
+		}
+	}
+	m.installBoth(p, line, cache.Dirty, bits)
+	return lat + m.hopLatency(p, h, threeHop), nil
+}
+
+// visitHome runs the home-side protocol hook, defaulting to the plain
+// behaviour of merging writeback bits into the home tables.
+func (m *Machine) visitHome(line mem.Addr, wb *cache.Line, wbOwner int, atHome HomeVisitFn) ([]abits.Word, error) {
+	if atHome == nil {
+		if wb != nil && m.OnDirtyWriteback != nil {
+			m.OnDirtyWriteback(wbOwner, line, wb.Bits)
+		}
+		return nil, nil
+	}
+	return atHome(wb, wbOwner)
+}
+
+// hopLatency returns the unloaded latency of a fill observed by requester
+// node p from home node h.
+func (m *Machine) hopLatency(p, h int, threeHop bool) sim.Time {
+	l := m.Cfg.Lat
+	if threeHop {
+		if p == h {
+			return l.Remote2Hop // local home, remote dirty owner
+		}
+		return l.Remote3Hop
+	}
+	if p == h {
+		return l.LocalMem
+	}
+	return l.Remote2Hop
+}
+
+// Read performs a plain (non-speculative) read by processor p and returns
+// the latency the processor observes.
+func (m *Machine) Read(p int, a mem.Addr) sim.Time {
+	m.Stats.Reads++
+	if _, lat, hit := m.Probe(p, a); hit {
+		return lat
+	}
+	lat, _ := m.FetchRead(p, a, nil) // plain transactions cannot fail
+	return lat
+}
+
+// Write performs a plain write by processor p. The returned latency is
+// what the processor observes; per §5.1 processors do not stall on write
+// misses, so it is the L1 hit time unless the line is already writable
+// (or Config.StallWrites is set, for the ablation).
+func (m *Machine) Write(p int, a mem.Addr) sim.Time {
+	m.Stats.Writes++
+	fr, _, hit := m.Probe(p, a)
+	if hit && fr.State == cache.Dirty {
+		return m.Cfg.Lat.L1Hit
+	}
+	// Upgrade or fetch-exclusive proceeds without stalling the processor.
+	lat, _ := m.FetchWrite(p, a, nil) // plain transactions cannot fail
+	if m.Cfg.StallWrites {
+		return lat
+	}
+	return m.Cfg.Lat.L1Hit
+}
+
+// WriteProcLatency returns what a processor is charged for a write whose
+// transaction latency was lat.
+func (m *Machine) WriteProcLatency(lat sim.Time) sim.Time {
+	if m.Cfg.StallWrites {
+		return lat
+	}
+	return m.Cfg.Lat.L1Hit
+}
+
+// SendToHome schedules fn to run at the home directory of a after the
+// one-way message latency plus queueing. A non-nil error from fn is a
+// speculation FAIL and is delivered to OnFail. Used for the protocol's
+// non-stalling bit-update messages (First_update, ROnly_update, read-first
+// and first-write signals).
+//
+// Delivery is in order per (source, home) pair, as the paper's algorithms
+// assume: if the source processor issues a synchronous transaction to the
+// same home while messages are in flight, the messages are delivered
+// first (DrainMessages).
+func (m *Machine) SendToHome(from int, a mem.Addr, fn func() error) {
+	m.Stats.Messages++
+	h := m.HomeOf(a)
+	key := [2]int{from, h}
+	msg := &pendingMsg{fn: fn}
+	m.msgq[key] = append(m.msgq[key], msg)
+	m.Eng.Schedule(m.Cfg.Lat.MsgHop, func() {
+		if msg.done {
+			return // delivered early by a drain
+		}
+		wait := m.homeVisit(h, m.Eng.Now(), m.Cfg.Lat.HomeOccMsg)
+		run := func() { m.deliverThrough(key, msg) }
+		if wait > 0 {
+			m.Eng.Schedule(wait, run)
+		} else {
+			run()
+		}
+	})
+}
+
+// deliverThrough delivers queued (source, home) messages in FIFO order up
+// to and including msg.
+func (m *Machine) deliverThrough(key [2]int, msg *pendingMsg) {
+	q := m.msgq[key]
+	for len(q) > 0 {
+		head := q[0]
+		q = q[1:]
+		if !head.done {
+			head.done = true
+			if err := head.fn(); err != nil && m.OnFail != nil {
+				m.OnFail(err)
+			}
+		}
+		if head == msg {
+			break
+		}
+	}
+	m.msgq[key] = q
+}
+
+// DrainMessages delivers all in-flight messages from processor p to home
+// h immediately, preserving FIFO order. Synchronous transactions call this
+// so they cannot overtake the processor's own earlier messages.
+func (m *Machine) DrainMessages(p, h int) {
+	key := [2]int{p, h}
+	q := m.msgq[key]
+	if len(q) == 0 {
+		return
+	}
+	m.msgq[key] = nil
+	for _, msg := range q {
+		if msg.done {
+			continue
+		}
+		msg.done = true
+		if m.Cfg.Contention {
+			m.Home[h].Acquire(m.Eng.Now(), m.Cfg.Lat.HomeOccMsg)
+		}
+		if err := msg.fn(); err != nil && m.OnFail != nil {
+			m.OnFail(err)
+		}
+	}
+}
+
+// SendToProc schedules fn to run at processor p's cache after the one-way
+// message latency (directory → cache messages such as First_update_fail).
+func (m *Machine) SendToProc(p int, fn func() error) {
+	m.Stats.Messages++
+	m.Eng.Schedule(m.Cfg.Lat.MsgHop, func() {
+		if err := fn(); err != nil && m.OnFail != nil {
+			m.OnFail(err)
+		}
+	})
+}
+
+// ChargeHomeTransfer models a protocol-engine line transfer between node p
+// and the home of a (read-in and copy-out of the privatization protocol,
+// §3.3) and returns its latency. No cache state changes.
+func (m *Machine) ChargeHomeTransfer(p int, a mem.Addr) sim.Time {
+	h := m.HomeOf(a)
+	lat := m.homeVisit(h, m.Eng.Now(), m.Cfg.Lat.HomeOccLine)
+	return lat + m.hopLatency(p, h, false)
+}
+
+// SyncBitsToL2 writes the (mutated) access bits of a Clean L1 line through
+// to its L2 copy so that inclusion keeps a single view. Dirty lines skip
+// this: their bits travel with the eventual writeback.
+func (m *Machine) SyncBitsToL2(p int, line mem.Addr, bits []abits.Word) {
+	if fr := m.Procs[p].L2.Lookup(line); fr != nil {
+		fr.Bits = append(fr.Bits[:0], bits...)
+	}
+}

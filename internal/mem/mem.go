@@ -1,0 +1,155 @@
+// Package mem models the physical address space of the simulated CC-NUMA
+// machine: allocation of named array regions and the placement of their
+// pages across the nodes' memory modules.
+//
+// The paper (§5.2) allocates the pages of workload data round-robin across
+// the memory modules; serial runs instead allocate everything local to the
+// executing processor. Both policies are supported.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// PageSize is the placement granularity. 4 KB, a typical page.
+const PageSize = 4096
+
+// Placement decides which node a page lives on.
+type Placement uint8
+
+const (
+	// RoundRobin interleaves pages across nodes (parallel runs).
+	RoundRobin Placement = iota
+	// Local places all pages of the region on a fixed node (serial runs,
+	// private per-processor data).
+	Local
+)
+
+func (p Placement) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case Local:
+		return "local"
+	}
+	return fmt.Sprintf("Placement(%d)", uint8(p))
+}
+
+// Region is a contiguous allocation holding an array.
+type Region struct {
+	Name     string
+	Base     Addr
+	Bytes    uint64
+	ElemSize int // bytes per element: 4, 8 or 16
+	Elems    int
+
+	place Placement
+	node  int // home node when place == Local
+}
+
+// Contains reports whether a lies inside the region.
+func (r Region) Contains(a Addr) bool {
+	return a >= r.Base && a < r.Base+Addr(r.Bytes)
+}
+
+// ElemAddr returns the address of element i.
+func (r Region) ElemAddr(i int) Addr {
+	if i < 0 || i >= r.Elems {
+		panic(fmt.Sprintf("mem: element %d out of range [0,%d) in %s", i, r.Elems, r.Name))
+	}
+	return r.Base + Addr(i*r.ElemSize)
+}
+
+// ElemIndex returns the element index containing address a.
+func (r Region) ElemIndex(a Addr) int {
+	if !r.Contains(a) {
+		panic(fmt.Sprintf("mem: addr %#x outside region %s", a, r.Name))
+	}
+	return int(a-r.Base) / r.ElemSize
+}
+
+// End returns one past the last byte of the region.
+func (r Region) End() Addr { return r.Base + Addr(r.Bytes) }
+
+// Space is the machine's physical address space.
+type Space struct {
+	Nodes   int
+	next    Addr
+	regions []Region
+	rrNext  int // next node for round-robin page placement continuity
+}
+
+// NewSpace creates an address space for a machine with n nodes.
+func NewSpace(n int) *Space {
+	if n <= 0 {
+		panic("mem: need at least one node")
+	}
+	// Start allocation above page 0 so that Addr 0 is never a valid
+	// element address (useful as a sentinel).
+	return &Space{Nodes: n, next: PageSize}
+}
+
+// Alloc carves a region of elems elements of elemSize bytes with the given
+// placement. For Local placement, node selects the home node. Regions are
+// page-aligned so that placement is exact.
+func (s *Space) Alloc(name string, elems, elemSize int, place Placement, node int) Region {
+	if elems <= 0 || elemSize <= 0 {
+		panic(fmt.Sprintf("mem: bad alloc %q elems=%d elemSize=%d", name, elems, elemSize))
+	}
+	if place == Local && (node < 0 || node >= s.Nodes) {
+		panic(fmt.Sprintf("mem: bad local node %d", node))
+	}
+	bytes := uint64(elems) * uint64(elemSize)
+	// Round the region up to whole pages.
+	pages := (bytes + PageSize - 1) / PageSize
+	r := Region{
+		Name:     name,
+		Base:     s.next,
+		Bytes:    bytes,
+		ElemSize: elemSize,
+		Elems:    elems,
+		place:    place,
+		node:     node,
+	}
+	s.next += Addr(pages * PageSize)
+	s.regions = append(s.regions, r)
+	return r
+}
+
+// HomeNode returns the node whose memory module holds address a.
+func (s *Space) HomeNode(a Addr) int {
+	r, ok := s.FindRegion(a)
+	if !ok {
+		// Unallocated addresses (e.g. lock words modelled ad hoc)
+		// interleave by page.
+		return int(uint64(a) / PageSize % uint64(s.Nodes))
+	}
+	if r.place == Local {
+		return r.node
+	}
+	pageInRegion := uint64(a-r.Base) / PageSize
+	return int(pageInRegion % uint64(s.Nodes))
+}
+
+// FindRegion returns the region containing a, if any.
+func (s *Space) FindRegion(a Addr) (Region, bool) {
+	// Regions are allocated in increasing address order; binary search.
+	i := sort.Search(len(s.regions), func(i int) bool {
+		return s.regions[i].End() > a
+	})
+	if i < len(s.regions) && s.regions[i].Contains(a) {
+		return s.regions[i], true
+	}
+	return Region{}, false
+}
+
+// Regions returns all allocated regions in address order.
+func (s *Space) Regions() []Region { return s.regions }
+
+// TotalBytes returns the highest allocated address (size of the used
+// address space).
+func (s *Space) TotalBytes() uint64 { return uint64(s.next) }

@@ -1,0 +1,250 @@
+package run
+
+import (
+	"specrt/internal/core"
+	"specrt/internal/cpu"
+	"specrt/internal/lrpd"
+	"specrt/internal/sched"
+)
+
+// emitAccess translates a logical array access into instructions for the
+// active mode: a bare load/store (Serial, Ideal, HW — the HW controller
+// applies its protocol by address range), or the instrumented form the
+// software scheme requires (shadow marking, privatized storage, read-in).
+func (s *session) emitAccess(c *Ctx, arr, elem int, write bool) {
+	spec := s.w.Arrays[arr]
+	shared := s.shared[arr]
+	buf := c.buf
+
+	if write && spec.SparseBackup && spec.Test == core.NonPriv &&
+		(s.cfg.Mode == SW || s.cfg.Mode == HW) && !s.sparseSaved[arr][elem] {
+		// Save the element just before it is first modified (§2.2.1).
+		s.sparseSaved[arr][elem] = true
+		*buf = append(*buf,
+			cpu.Load(shared.ElemAddr(elem)),
+			cpu.Store(s.backups[arr].ElemAddr(elem)),
+			cpu.Compute(1))
+	}
+
+	if s.cfg.Mode != SW || spec.Test == core.Plain {
+		if write {
+			*buf = append(*buf, cpu.Store(shared.ElemAddr(elem)))
+		} else {
+			*buf = append(*buf, cpu.Load(shared.ElemAddr(elem)))
+		}
+		return
+	}
+
+	// Software scheme: record the access for the real LRPD verdict and
+	// emit the marking instructions of §2.2.2.
+	s.trace[arr] = append(s.trace[arr], lrpd.Op{Iter: c.iter, Elem: elem, Write: write})
+	p := c.p
+	shIdx := elem
+	if s.w.SWProcWise {
+		shIdx = elem / 32
+	}
+	s.swLines[arr][p][shIdx/s.elemsPerLine(s.swGlobal[arr])] = true
+	wrSh := s.swWr[arr][p].ElemAddr(shIdx)
+	rdSh := s.swRd[arr][p].ElemAddr(shIdx)
+
+	if write {
+		// markwrite: check/update the write shadow stamp.
+		*buf = append(*buf,
+			cpu.Load(wrSh), cpu.Compute(2), cpu.Store(wrSh))
+		if spec.Test == core.Priv {
+			s.swTouched[arr][p][elem] = true
+			*buf = append(*buf, cpu.Store(s.swPriv[arr][p].ElemAddr(elem)))
+		} else {
+			*buf = append(*buf, cpu.Store(shared.ElemAddr(elem)))
+		}
+		return
+	}
+
+	// markread: check the write shadow (same-iteration write?) and
+	// update the read shadows.
+	*buf = append(*buf,
+		cpu.Load(wrSh), cpu.Load(rdSh), cpu.Compute(2), cpu.Store(rdSh))
+	if spec.Test == core.Priv {
+		if !s.swTouched[arr][p][elem] {
+			// Read-in: first touch by this processor fetches the
+			// shared value into the private copy.
+			s.swTouched[arr][p][elem] = true
+			*buf = append(*buf, cpu.Load(shared.ElemAddr(elem)),
+				cpu.Store(s.swPriv[arr][p].ElemAddr(elem)))
+		}
+		*buf = append(*buf, cpu.Load(s.swPriv[arr][p].ElemAddr(elem)))
+	} else {
+		*buf = append(*buf, cpu.Load(shared.ElemAddr(elem)))
+	}
+}
+
+// loopGen lazily generates one processor's loop-phase instruction stream:
+// scheduling (static, block-cyclic, or lock-dispensed dynamic blocks),
+// per-superiteration BeginIter markers for the hardware scheme, the
+// workload body, and the closing barrier.
+type loopGen struct {
+	s    *session
+	p    int
+	exec int
+
+	buf []cpu.Instr
+	pos int
+
+	blocks []sched.Block // static / block-cyclic assignment
+	bi     int
+	disp   *sched.Dispenser // dynamic (shared across processors)
+	// shiftLo converts the dispenser's window-relative iteration
+	// numbers to global ones (epoch windows, §3.3).
+	shiftLo int
+
+	cur       sched.Block
+	curIter   int
+	haveBlock bool
+	grabbing  bool // dynamic: the lock/grab sequence is in flight
+	finished  bool
+}
+
+func (g *loopGen) next(*cpu.Proc) (cpu.Instr, bool) {
+	for {
+		if g.pos < len(g.buf) {
+			in := g.buf[g.pos]
+			g.pos++
+			return in, true
+		}
+		g.buf = g.buf[:0]
+		g.pos = 0
+		if g.finished {
+			return cpu.Instr{}, false
+		}
+		g.generate()
+	}
+}
+
+// generate refills the buffer with the next unit of work.
+func (g *loopGen) generate() {
+	s := g.s
+	if g.haveBlock && g.curIter < g.cur.Hi {
+		// Emit one iteration of the current block.
+		c := &Ctx{s: s, p: g.p, exec: g.exec, iter: g.curIter, buf: &g.buf}
+		s.w.Body(g.exec, g.curIter, c)
+		g.curIter++
+		return
+	}
+	g.haveBlock = false
+
+	// Acquire the next block.
+	if g.disp != nil {
+		if !g.grabbing {
+			// Model the lock-protected dispense.
+			g.grabbing = true
+			g.buf = append(g.buf,
+				cpu.LockAcq(dispenserLock), cpu.Compute(grabCost), cpu.LockRel(dispenserLock))
+			return
+		}
+		g.grabbing = false
+		b, ok := g.disp.Next()
+		if !ok {
+			g.finish()
+			return
+		}
+		b.Lo += g.shiftLo
+		b.Hi += g.shiftLo
+		g.startBlock(b)
+		return
+	}
+	if g.bi < len(g.blocks) {
+		b := g.blocks[g.bi]
+		g.bi++
+		if b.Lo >= b.Hi {
+			return // empty chunk; loop again
+		}
+		g.startBlock(b)
+		return
+	}
+	g.finish()
+}
+
+func (g *loopGen) startBlock(b sched.Block) {
+	g.cur = b
+	g.curIter = b.Lo
+	g.haveBlock = true
+	if g.s.cfg.Mode == HW {
+		// One superiteration per block: the hardware clears the
+		// per-iteration tag bits and tags accesses with the block's
+		// time stamp (§4.1).
+		g.buf = append(g.buf, cpu.BeginIter(b.Super))
+	}
+}
+
+func (g *loopGen) finish() {
+	g.finished = true
+	if g.s.procs > 1 {
+		g.buf = append(g.buf, cpu.Barrier(phaseBarrier))
+	}
+}
+
+// loopPhase runs the loop body phase of one execution under the mode's
+// schedule. With EpochIters set (HW mode), the iteration space is
+// executed in windows separated by all-processor synchronizations that
+// reset the effective time-stamp numbering (§3.3 overflow support).
+func (s *session) loopPhase(exec int) {
+	iters := s.w.Iterations(exec)
+	windows := [][2]int{{0, iters}}
+	if s.cfg.Mode == HW && s.cfg.EpochIters > 0 && s.cfg.EpochIters < iters {
+		windows = windows[:0]
+		for lo := 0; lo < iters; lo += s.cfg.EpochIters {
+			hi := lo + s.cfg.EpochIters
+			if hi > iters {
+				hi = iters
+			}
+			windows = append(windows, [2]int{lo, hi})
+		}
+	}
+	for i, win := range windows {
+		s.loopWindow(exec, win[0], win[1])
+		if i < len(windows)-1 {
+			s.ctl.EpochSync()
+		}
+	}
+}
+
+// loopWindow schedules and executes iterations [lo, hi).
+func (s *session) loopWindow(exec, lo, hi int) {
+	iters := hi - lo
+	cfg := schedFor(s.w, s.cfg)
+	if s.cfg.Mode == Serial {
+		cfg = sched.Config{Kind: sched.Static}
+	}
+
+	// Schedulers operate on window-relative indices; blocks are shifted
+	// to global iteration numbers afterwards. Super numbers restart per
+	// window, matching the effective-iteration reset.
+	shift := func(bs []sched.Block) []sched.Block {
+		out := make([]sched.Block, len(bs))
+		for i, b := range bs {
+			out[i] = sched.Block{Lo: b.Lo + lo, Hi: b.Hi + lo, Super: b.Super}
+		}
+		return out
+	}
+
+	gens := make([]cpu.Source, s.procs)
+	var disp *sched.Dispenser
+	switch cfg.Kind {
+	case sched.Dynamic:
+		disp = sched.NewDispenser(iters, cfg.Chunk)
+	case sched.Static:
+		s.staticMap = shift(sched.StaticBlocks(iters, s.procs))
+	}
+
+	for p := 0; p < s.procs; p++ {
+		g := &loopGen{s: s, p: p, exec: exec, disp: disp, shiftLo: lo}
+		switch cfg.Kind {
+		case sched.Static:
+			g.blocks = []sched.Block{s.staticMap[p]}
+		case sched.BlockCyclic:
+			g.blocks = shift(sched.BlockCyclicBlocks(iters, s.procs, cfg.Chunk)[p])
+		}
+		gens[p] = g.next
+	}
+	s.sys.Run(s.procIDs, gens)
+}

@@ -1,0 +1,318 @@
+// Package run orchestrates the executions the paper evaluates (§6): the
+// Serial baseline (uniprocessor, all data local), the Ideal doall (no
+// tests), the software LRPD scheme SW (§2: backup, shadow zero-out,
+// marking during the loop, merging and analysis afterwards), and the
+// hardware scheme HW (§3: backup, arm the coherence-protocol extensions,
+// abort on the first dependence).
+//
+// A Workload describes a loop nest abstractly (arrays, iteration bodies,
+// scheduling preferences); Execute simulates it under a chosen Mode and
+// returns cycle counts and Busy/Mem/Sync breakdowns.
+package run
+
+import (
+	"fmt"
+
+	"specrt/internal/core"
+	"specrt/internal/cpu"
+	"specrt/internal/lrpd"
+	"specrt/internal/machine"
+	"specrt/internal/sched"
+	"specrt/internal/sim"
+)
+
+// Mode selects the execution scheme.
+type Mode uint8
+
+const (
+	Serial Mode = iota
+	Ideal
+	SW
+	HW
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Serial:
+		return "Serial"
+	case Ideal:
+		return "Ideal"
+	case SW:
+		return "SW"
+	case HW:
+		return "HW"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Modes lists all execution schemes in presentation order.
+var Modes = []Mode{Serial, Ideal, SW, HW}
+
+// ArraySpec describes one array a workload touches.
+type ArraySpec struct {
+	Name     string
+	Elems    int
+	ElemSize int // 4, 8 or 16 bytes
+	// Test selects the run-time test the array needs: core.Plain for
+	// compile-time-analyzable arrays, core.NonPriv or core.Priv for
+	// arrays under test.
+	Test core.Protocol
+	// RICO enables read-in/copy-out for privatized arrays.
+	RICO bool
+	// LiveOut privatized arrays need copy-out after the loop.
+	LiveOut bool
+	// SparseBackup saves individual elements into the backup just
+	// before they are first modified, instead of copying the whole
+	// array up front (§2.2.1: "if the pattern of access is sparse, it
+	// is better to save individual elements"). Applies to non-privatized
+	// arrays under SW and HW.
+	SparseBackup bool
+}
+
+// Ctx is the emission context a workload body writes its work into.
+// Element accesses address arrays logically; the run-time maps them to
+// shared or privatized storage and inserts the instrumentation the active
+// scheme needs.
+type Ctx struct {
+	s    *session
+	p    int // executing processor
+	exec int
+	iter int
+	buf  *[]cpu.Instr
+}
+
+// Proc returns the executing processor's ID (for processor-dependent
+// workload shapes; use sparingly).
+func (c *Ctx) Proc() int { return c.p }
+
+// Iter returns the current iteration index.
+func (c *Ctx) Iter() int { return c.iter }
+
+// Compute spends cycles of computation.
+func (c *Ctx) Compute(cycles sim.Time) {
+	*c.buf = append(*c.buf, cpu.Compute(cycles))
+}
+
+// Load reads element elem of array arr (index into the workload's
+// Arrays).
+func (c *Ctx) Load(arr, elem int) { c.s.emitAccess(c, arr, elem, false) }
+
+// Store writes element elem of array arr.
+func (c *Ctx) Store(arr, elem int) { c.s.emitAccess(c, arr, elem, true) }
+
+// Exception models a run-time exception raised by this iteration during
+// speculative execution — e.g. an out-of-bounds subscript computed from
+// a misspeculated value. Under SW and HW the execution aborts and the
+// loop restarts serially (§2.2); under Serial and Ideal it is a no-op
+// (the exception is an artifact of wrong speculation).
+func (c *Ctx) Exception() {
+	if c.s.cfg.Mode == SW || c.s.cfg.Mode == HW {
+		*c.buf = append(*c.buf, cpu.Exception())
+	}
+}
+
+// Workload is an abstract loop nest: the unit the paper calls "a loop",
+// executed Executions times with varying iteration counts.
+type Workload struct {
+	Name       string
+	Executions int
+	// Iterations returns the trip count of execution exec.
+	Iterations func(exec int) int
+	Arrays     []ArraySpec
+	// Body emits the work of one iteration.
+	Body func(exec, iter int, c *Ctx)
+
+	// Scheduling per mode. A zero Config means static chunking.
+	IdealSched, HWSched, SWSched sched.Config
+	// SWProcWise runs the processor-wise software test (§2.2.3), which
+	// requires static scheduling.
+	SWProcWise bool
+}
+
+// Config parameterizes one Execute call.
+type Config struct {
+	Procs      int
+	Mode       Mode
+	Contention bool
+	// SchedOverride, if non-nil, replaces the workload's preferred
+	// schedule for this mode.
+	SchedOverride *sched.Config
+	// MaxExecutions caps the number of loop executions simulated
+	// (0 = all); results are still reported per execution.
+	MaxExecutions int
+	// LineGrainBits keeps access bits per cache line instead of per
+	// word in the HW scheme (granularity ablation; see core.LineGrain).
+	LineGrainBits bool
+	// EpochIters, when positive, bounds the effective iteration numbers
+	// the privatization time stamps must hold (§3.3 overflow support):
+	// the HW scheme synchronizes all processors every EpochIters
+	// iterations and resets the effective numbering.
+	EpochIters int
+	// StallWrites makes processors wait for write misses (ablation of
+	// §5.1's non-stalling writes).
+	StallWrites bool
+	// HomeOccMultiplier scales the home directory handler occupancy
+	// (>= 1; 0 means 1), modelling a programmable protocol processor in
+	// place of the hardwired test logic of Figure 10-(c).
+	HomeOccMultiplier int64
+	// AdaptiveAfter, when positive, applies the §2.2.4 success-rate
+	// heuristic: once that many consecutive executions have failed
+	// speculation, the remaining executions run serially instead of
+	// paying backup + failed speculation + restore every time.
+	AdaptiveAfter int
+}
+
+// Result reports one Execute call.
+type Result struct {
+	Workload   string
+	Mode       Mode
+	Procs      int
+	Executions int
+
+	// Cycles is the total simulated time across executions, including
+	// any failure handling (restore + serial re-execution).
+	Cycles sim.Time
+	// Breakdown is the per-processor average time split, accumulated
+	// over executions.
+	Breakdown cpu.Breakdown
+
+	// Failures counts executions whose speculation failed.
+	Failures int
+	// Exceptions counts executions aborted by a run-time exception
+	// during speculation (§2.2); they restore and re-execute serially
+	// like failures.
+	Exceptions int
+	// SerialFallbacks counts executions that skipped speculation under
+	// the §2.2.4 adaptive policy and ran serially from the start.
+	SerialFallbacks int
+	// FailDetectCycles is, for failed executions, the time from loop
+	// start to detection (HW: immediate; SW: after loop + analysis).
+	FailDetectCycles sim.Time
+	// Verdicts per array name for the last execution (SW mode).
+	Verdicts map[string]lrpd.Verdict
+	// FirstFailure is the first hardware-detected failure (HW mode).
+	FirstFailure *core.Failure
+
+	// MachineStats aggregates coherence-protocol events across the run.
+	MachineStats machine.Stats
+	// CoreStats aggregates speculation-protocol events (HW mode only).
+	CoreStats core.Stats
+}
+
+// MeanCyclesPerExec returns the average execution time of one loop
+// instance.
+func (r *Result) MeanCyclesPerExec() float64 {
+	if r.Executions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Executions)
+}
+
+// Speedup returns serial.Cycles / r.Cycles for matching executions.
+func Speedup(serial, parallel *Result) float64 {
+	if parallel.Cycles == 0 {
+		return 0
+	}
+	return float64(serial.Cycles) / float64(parallel.Cycles)
+}
+
+// Execute simulates workload w under cfg.
+func Execute(w *Workload, cfg Config) (*Result, error) {
+	if err := validate(w, cfg); err != nil {
+		return nil, err
+	}
+	s := newSession(w, cfg)
+	res := &Result{
+		Workload: w.Name,
+		Mode:     cfg.Mode,
+		Procs:    cfg.Procs,
+		Verdicts: make(map[string]lrpd.Verdict),
+	}
+	execs := w.Executions
+	if cfg.MaxExecutions > 0 && cfg.MaxExecutions < execs {
+		execs = cfg.MaxExecutions
+	}
+	consecFails := 0
+	for exec := 0; exec < execs; exec++ {
+		if cfg.AdaptiveAfter > 0 && cfg.Mode != Serial &&
+			consecFails >= cfg.AdaptiveAfter {
+			// The loop keeps failing: stop speculating (§2.2.4).
+			cycles, bd := s.serialReexec(exec)
+			res.Cycles += cycles
+			res.Breakdown.Add(bd)
+			res.SerialFallbacks++
+			res.Executions++
+			continue
+		}
+		before := res.Failures + res.Exceptions
+		s.runOne(exec, res)
+		res.Executions++
+		if res.Failures+res.Exceptions > before {
+			consecFails++
+		} else {
+			consecFails = 0
+		}
+	}
+	res.MachineStats = s.m.Stats
+	if s.ctl != nil {
+		res.CoreStats = s.ctl.Stats
+	}
+	return res, nil
+}
+
+// MustExecute is Execute for known-good configurations.
+func MustExecute(w *Workload, cfg Config) *Result {
+	r, err := Execute(w, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func validate(w *Workload, cfg Config) error {
+	if w.Executions <= 0 {
+		return fmt.Errorf("run: workload %q has no executions", w.Name)
+	}
+	if w.Iterations == nil || w.Body == nil {
+		return fmt.Errorf("run: workload %q missing Iterations or Body", w.Name)
+	}
+	if len(w.Arrays) == 0 {
+		return fmt.Errorf("run: workload %q has no arrays", w.Name)
+	}
+	if cfg.Procs <= 0 {
+		return fmt.Errorf("run: need at least one processor")
+	}
+	if cfg.Mode == SW && w.SWProcWise {
+		k := schedFor(w, cfg).Kind
+		if k != sched.Static {
+			return fmt.Errorf("run: processor-wise SW test requires static scheduling, got %v", k)
+		}
+	}
+	for _, a := range w.Arrays {
+		switch a.ElemSize {
+		case 4, 8, 16:
+		default:
+			return fmt.Errorf("run: array %q has unsupported element size %d", a.Name, a.ElemSize)
+		}
+		if a.Elems <= 0 {
+			return fmt.Errorf("run: array %q has no elements", a.Name)
+		}
+	}
+	return nil
+}
+
+// schedFor picks the schedule for the configured mode.
+func schedFor(w *Workload, cfg Config) sched.Config {
+	if cfg.SchedOverride != nil {
+		return *cfg.SchedOverride
+	}
+	switch cfg.Mode {
+	case Ideal:
+		return w.IdealSched
+	case SW:
+		return w.SWSched
+	case HW:
+		return w.HWSched
+	}
+	return sched.Config{Kind: sched.Static}
+}

@@ -1,0 +1,696 @@
+package run
+
+import (
+	"testing"
+
+	"specrt/internal/core"
+	"specrt/internal/lrpd"
+	"specrt/internal/sched"
+)
+
+// indepLoop builds a fully parallel workload: iteration i writes then
+// reads element i of the array under test, plus some compute.
+func indepLoop(test core.Protocol, iters, elems int, compute int64) *Workload {
+	return &Workload{
+		Name:       "indep",
+		Executions: 1,
+		Iterations: func(int) int { return iters },
+		Arrays: []ArraySpec{
+			{Name: "A", Elems: elems, ElemSize: 4, Test: test, RICO: true},
+		},
+		Body: func(exec, iter int, c *Ctx) {
+			c.Store(0, iter%elems)
+			c.Compute(compute)
+			c.Load(0, iter%elems)
+		},
+	}
+}
+
+// depLoop has a flow dependence: iteration 1 reads what iteration 0
+// wrote.
+func depLoop(test core.Protocol, iters int) *Workload {
+	return &Workload{
+		Name:       "dep",
+		Executions: 1,
+		Iterations: func(int) int { return iters },
+		Arrays: []ArraySpec{
+			{Name: "A", Elems: 64, ElemSize: 4, Test: test, RICO: true},
+		},
+		Body: func(exec, iter int, c *Ctx) {
+			c.Compute(50)
+			if iter == 0 {
+				c.Store(0, 7)
+			}
+			if iter == 1 {
+				c.Load(0, 7)
+			}
+			c.Store(0, 8+iter%32)
+		},
+	}
+}
+
+func cfgFor(mode Mode, procs int) Config {
+	return Config{Procs: procs, Mode: mode, Contention: true}
+}
+
+func TestSerialExecution(t *testing.T) {
+	w := indepLoop(core.NonPriv, 64, 64, 100)
+	r := MustExecute(w, cfgFor(Serial, 8))
+	if r.Cycles <= 0 {
+		t.Fatal("serial run took no time")
+	}
+	if r.Breakdown.Sync != 0 {
+		t.Fatalf("serial run has Sync time: %+v", r.Breakdown)
+	}
+	if r.Failures != 0 {
+		t.Fatal("serial run cannot fail")
+	}
+}
+
+func TestIdealSpeedup(t *testing.T) {
+	w := indepLoop(core.NonPriv, 128, 128, 500)
+	serial := MustExecute(w, cfgFor(Serial, 1))
+	par := MustExecute(w, cfgFor(Ideal, 4))
+	sp := Speedup(serial, par)
+	if sp < 1.5 {
+		t.Fatalf("ideal speedup = %.2f, want > 1.5", sp)
+	}
+}
+
+func TestHWParallelPasses(t *testing.T) {
+	w := indepLoop(core.NonPriv, 128, 128, 200)
+	r := MustExecute(w, cfgFor(HW, 4))
+	if r.Failures != 0 {
+		t.Fatalf("HW failed a parallel loop: %+v", r)
+	}
+}
+
+func TestHWSlowerThanIdealFasterThanSerial(t *testing.T) {
+	w := indepLoop(core.NonPriv, 256, 256, 300)
+	serial := MustExecute(w, cfgFor(Serial, 1))
+	ideal := MustExecute(w, cfgFor(Ideal, 8))
+	hw := MustExecute(w, cfgFor(HW, 8))
+	if hw.Cycles < ideal.Cycles {
+		t.Fatalf("HW (%d) faster than Ideal (%d)", hw.Cycles, ideal.Cycles)
+	}
+	if hw.Cycles >= serial.Cycles {
+		t.Fatalf("HW (%d) not faster than Serial (%d)", hw.Cycles, serial.Cycles)
+	}
+}
+
+func TestSWParallelPassesAndIsSlowerThanHW(t *testing.T) {
+	w := indepLoop(core.NonPriv, 256, 256, 300)
+	sw := MustExecute(w, cfgFor(SW, 8))
+	hw := MustExecute(w, cfgFor(HW, 8))
+	if sw.Failures != 0 {
+		t.Fatalf("SW failed a parallel loop: %+v", sw.Verdicts)
+	}
+	if v := sw.Verdicts["A"]; v == lrpd.NotParallel {
+		t.Fatalf("verdict = %v", v)
+	}
+	if sw.Cycles <= hw.Cycles {
+		t.Fatalf("SW (%d) not slower than HW (%d): instrumentation overhead missing",
+			sw.Cycles, hw.Cycles)
+	}
+}
+
+func TestHWDetectsDependence(t *testing.T) {
+	w := depLoop(core.NonPriv, 64)
+	r := MustExecute(w, cfgFor(HW, 4))
+	if r.Failures != 1 {
+		t.Fatalf("HW missed the dependence: %+v", r)
+	}
+	if r.Cycles <= 0 {
+		t.Fatal("no cycles accounted")
+	}
+}
+
+func TestSWDetectsDependenceAfterLoop(t *testing.T) {
+	w := depLoop(core.NonPriv, 64)
+	r := MustExecute(w, cfgFor(SW, 4))
+	if r.Failures != 1 {
+		t.Fatalf("SW missed the dependence: verdicts=%v", r.Verdicts)
+	}
+	if r.Verdicts["A"] != lrpd.NotParallel {
+		t.Fatalf("verdict = %v", r.Verdicts["A"])
+	}
+}
+
+func TestHWDetectsEarlierThanSW(t *testing.T) {
+	// The dependence occurs in the first iterations; HW aborts there
+	// while SW must finish the whole loop first.
+	mk := func() *Workload {
+		w := depLoop(core.NonPriv, 512)
+		w.Body = func(exec, iter int, c *Ctx) {
+			c.Compute(200)
+			if iter == 0 {
+				c.Store(0, 7)
+			}
+			if iter == 1 {
+				c.Load(0, 7)
+			}
+			c.Store(0, 8+iter%32)
+		}
+		return w
+	}
+	hw := MustExecute(mk(), cfgFor(HW, 4))
+	sw := MustExecute(mk(), cfgFor(SW, 4))
+	if hw.Failures != 1 || sw.Failures != 1 {
+		t.Fatalf("failures hw=%d sw=%d", hw.Failures, sw.Failures)
+	}
+	if hw.FailDetectCycles >= sw.FailDetectCycles {
+		t.Fatalf("HW detect (%d) not earlier than SW detect (%d)",
+			hw.FailDetectCycles, sw.FailDetectCycles)
+	}
+}
+
+func TestFailedRunStillSlowerThanSerialButBounded(t *testing.T) {
+	w := depLoop(core.NonPriv, 128)
+	serial := MustExecute(w, cfgFor(Serial, 1))
+	hw := MustExecute(w, cfgFor(HW, 4))
+	if hw.Cycles <= serial.Cycles {
+		t.Fatalf("failed HW (%d) should exceed Serial (%d): it includes re-execution",
+			hw.Cycles, serial.Cycles)
+	}
+	// But it must not cost more than a few times serial.
+	if hw.Cycles > serial.Cycles*4 {
+		t.Fatalf("failed HW (%d) unreasonably slower than Serial (%d)", hw.Cycles, serial.Cycles)
+	}
+}
+
+func TestPrivWorkloadHW(t *testing.T) {
+	// Privatizable temporary: every iteration writes then reads element
+	// 0. NonPriv would fail; Priv passes.
+	w := &Workload{
+		Name:       "tmp",
+		Executions: 1,
+		Iterations: func(int) int { return 64 },
+		Arrays: []ArraySpec{
+			{Name: "T", Elems: 16, ElemSize: 4, Test: core.Priv, RICO: true},
+		},
+		Body: func(exec, iter int, c *Ctx) {
+			c.Store(0, 0)
+			c.Compute(100)
+			c.Load(0, 0)
+		},
+		HWSched: sched.Config{Kind: sched.Dynamic, Chunk: 1},
+	}
+	r := MustExecute(w, cfgFor(HW, 4))
+	if r.Failures != 0 {
+		t.Fatalf("privatizable loop failed under HW: %+v", r)
+	}
+}
+
+func TestPrivWorkloadSW(t *testing.T) {
+	w := &Workload{
+		Name:       "tmp",
+		Executions: 1,
+		Iterations: func(int) int { return 64 },
+		Arrays: []ArraySpec{
+			{Name: "T", Elems: 16, ElemSize: 4, Test: core.Priv, RICO: true},
+		},
+		Body: func(exec, iter int, c *Ctx) {
+			c.Store(0, 0)
+			c.Compute(100)
+			c.Load(0, 0)
+		},
+	}
+	r := MustExecute(w, cfgFor(SW, 4))
+	if r.Failures != 0 {
+		t.Fatalf("privatizable loop failed under SW: %v", r.Verdicts)
+	}
+	if r.Verdicts["T"] != lrpd.DoallWithPriv {
+		t.Fatalf("verdict = %v", r.Verdicts["T"])
+	}
+}
+
+func TestDynamicSchedulingBalancesLoad(t *testing.T) {
+	// Imbalanced iterations: static scheduling leaves half the procs
+	// with the heavy tail; dynamic in chunks of 1 balances.
+	mk := func(k sched.Kind) *Workload {
+		return &Workload{
+			Name:       "imbal",
+			Executions: 1,
+			Iterations: func(int) int { return 64 },
+			Arrays: []ArraySpec{
+				{Name: "A", Elems: 64, ElemSize: 4, Test: core.Plain},
+			},
+			Body: func(exec, iter int, c *Ctx) {
+				// Iterations in the last chunk are 20x heavier.
+				if iter >= 48 {
+					c.Compute(2000)
+				} else {
+					c.Compute(100)
+				}
+				c.Store(0, iter)
+			},
+			IdealSched: sched.Config{Kind: k, Chunk: 1},
+		}
+	}
+	static := MustExecute(mk(sched.Static), cfgFor(Ideal, 4))
+	dynamic := MustExecute(mk(sched.Dynamic), cfgFor(Ideal, 4))
+	if dynamic.Cycles >= static.Cycles {
+		t.Fatalf("dynamic (%d) not faster than static (%d) on imbalanced load",
+			dynamic.Cycles, static.Cycles)
+	}
+}
+
+func TestProcessorWiseSWPassesWhereIterationWiseFails(t *testing.T) {
+	// Dependent iterations land on the same processor under static
+	// chunking: iteration-wise fails, processor-wise passes (§5.2
+	// Track).
+	mk := func(procWise bool) *Workload {
+		return &Workload{
+			Name:       "pw",
+			Executions: 1,
+			Iterations: func(int) int { return 64 },
+			Arrays: []ArraySpec{
+				{Name: "A", Elems: 64, ElemSize: 4, Test: core.NonPriv},
+			},
+			Body: func(exec, iter int, c *Ctx) {
+				c.Compute(50)
+				// Iterations 2k and 2k+1 share element k: adjacent, so
+				// they stay in one static chunk (64 iters / 4 procs =
+				// chunks of 16).
+				if iter%2 == 0 {
+					c.Store(0, iter/2)
+				} else {
+					c.Load(0, iter/2)
+				}
+			},
+			SWProcWise: procWise,
+		}
+	}
+	iw := MustExecute(mk(false), cfgFor(SW, 4))
+	pw := MustExecute(mk(true), cfgFor(SW, 4))
+	if iw.Failures != 1 {
+		t.Fatalf("iteration-wise should fail: %v", iw.Verdicts)
+	}
+	if pw.Failures != 0 {
+		t.Fatalf("processor-wise should pass: %v", pw.Verdicts)
+	}
+}
+
+func TestHWProcessorWiseUnderAnyScheduling(t *testing.T) {
+	// The same pattern passes under HW with dynamic blocks that keep
+	// the dependent pair together (§5.2: "the plain dynamically-
+	// scheduled hardware scheme passes all loops if the iterations are
+	// scheduled in blocks of a few iterations each").
+	w := &Workload{
+		Name:       "pw-hw",
+		Executions: 1,
+		Iterations: func(int) int { return 64 },
+		Arrays: []ArraySpec{
+			{Name: "A", Elems: 64, ElemSize: 4, Test: core.NonPriv},
+		},
+		Body: func(exec, iter int, c *Ctx) {
+			c.Compute(50)
+			if iter%2 == 0 {
+				c.Store(0, iter/2)
+			} else {
+				c.Load(0, iter/2)
+			}
+		},
+		HWSched: sched.Config{Kind: sched.Dynamic, Chunk: 4},
+	}
+	r := MustExecute(w, cfgFor(HW, 4))
+	if r.Failures != 0 {
+		t.Fatalf("HW with blocked dynamic scheduling failed: %+v", r)
+	}
+}
+
+func TestMultipleExecutionsAccumulate(t *testing.T) {
+	w := indepLoop(core.NonPriv, 32, 32, 100)
+	w.Executions = 5
+	r := MustExecute(w, cfgFor(HW, 2))
+	if r.Executions != 5 {
+		t.Fatalf("executions = %d", r.Executions)
+	}
+	one := indepLoop(core.NonPriv, 32, 32, 100)
+	r1 := MustExecute(one, cfgFor(HW, 2))
+	if r.Cycles < 4*r1.Cycles {
+		t.Fatalf("5 executions (%d) should cost ~5x one (%d)", r.Cycles, r1.Cycles)
+	}
+}
+
+func TestMaxExecutionsCap(t *testing.T) {
+	w := indepLoop(core.NonPriv, 32, 32, 100)
+	w.Executions = 100
+	cfg := cfgFor(HW, 2)
+	cfg.MaxExecutions = 3
+	r := MustExecute(w, cfg)
+	if r.Executions != 3 {
+		t.Fatalf("executions = %d, want 3", r.Executions)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := indepLoop(core.NonPriv, 8, 8, 1)
+	bad := []*Workload{
+		{Name: "noexec", Iterations: good.Iterations, Body: good.Body, Arrays: good.Arrays},
+		{Name: "nobody", Executions: 1, Iterations: good.Iterations, Arrays: good.Arrays},
+		{Name: "noarrays", Executions: 1, Iterations: good.Iterations, Body: good.Body},
+	}
+	for _, w := range bad {
+		if _, err := Execute(w, cfgFor(Serial, 1)); err == nil {
+			t.Fatalf("workload %q accepted", w.Name)
+		}
+	}
+	if _, err := Execute(good, Config{Procs: 0, Mode: Serial}); err == nil {
+		t.Fatal("procs=0 accepted")
+	}
+	badElem := indepLoop(core.NonPriv, 8, 8, 1)
+	badElem.Arrays[0].ElemSize = 3
+	if _, err := Execute(badElem, cfgFor(Serial, 1)); err == nil {
+		t.Fatal("elemSize=3 accepted")
+	}
+	pw := indepLoop(core.NonPriv, 8, 8, 1)
+	pw.SWProcWise = true
+	pw.SWSched = sched.Config{Kind: sched.Dynamic, Chunk: 1}
+	if _, err := Execute(pw, cfgFor(SW, 2)); err == nil {
+		t.Fatal("processor-wise with dynamic scheduling accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	names := map[Mode]string{Serial: "Serial", Ideal: "Ideal", SW: "SW", HW: "HW"}
+	for m, want := range names {
+		if m.String() != want {
+			t.Fatalf("%d.String() = %q", m, m.String())
+		}
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode should stringify")
+	}
+}
+
+func TestBreakdownRoughlyCoversWallTime(t *testing.T) {
+	w := indepLoop(core.NonPriv, 128, 128, 200)
+	r := MustExecute(w, cfgFor(HW, 4))
+	total := r.Breakdown.Total()
+	// The average per-processor time should be within 25% of the wall
+	// time (the end barrier folds imbalance into Sync).
+	lo, hi := r.Cycles*3/4, r.Cycles*5/4
+	if total < lo || total > hi {
+		t.Fatalf("breakdown total %d vs wall %d out of range", total, r.Cycles)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *Result {
+		return MustExecute(indepLoop(core.Priv, 64, 64, 100), cfgFor(HW, 4))
+	}
+	a, b := mk(), mk()
+	if a.Cycles != b.Cycles || a.Breakdown != b.Breakdown {
+		t.Fatalf("non-deterministic: %d/%d", a.Cycles, b.Cycles)
+	}
+}
+
+func TestEpochIterationsHW(t *testing.T) {
+	// A privatizable workload with epochs every 16 iterations: still
+	// passes, with the extra synchronizations costing time.
+	mk := func(epoch int) *Workload {
+		return &Workload{
+			Name:       "epochs",
+			Executions: 1,
+			Iterations: func(int) int { return 128 },
+			Arrays: []ArraySpec{
+				{Name: "T", Elems: 64, ElemSize: 4, Test: core.Priv, RICO: true},
+			},
+			Body: func(exec, iter int, c *Ctx) {
+				c.Store(0, iter%64)
+				c.Compute(100)
+				c.Load(0, iter%64)
+			},
+			HWSched: sched.Config{Kind: sched.Dynamic, Chunk: 2},
+		}
+	}
+	plain := MustExecute(mk(0), Config{Procs: 4, Mode: HW, Contention: true})
+	cfg := Config{Procs: 4, Mode: HW, Contention: true, EpochIters: 16}
+	epoched := MustExecute(mk(16), cfg)
+	if epoched.Failures != 0 {
+		t.Fatalf("epoched run failed: %+v", epoched.FirstFailure)
+	}
+	if plain.Failures != 0 {
+		t.Fatalf("plain run failed: %+v", plain.FirstFailure)
+	}
+	if epoched.Cycles <= plain.Cycles {
+		t.Fatalf("epoch synchronizations should cost time: %d vs %d",
+			epoched.Cycles, plain.Cycles)
+	}
+}
+
+func TestEpochCrossEpochDependenceStillFails(t *testing.T) {
+	// Iteration 10 writes, iteration 100 reads: they land in different
+	// epochs (every 32), and the dependence must still be detected.
+	w := &Workload{
+		Name:       "epochs-dep",
+		Executions: 1,
+		Iterations: func(int) int { return 128 },
+		Arrays: []ArraySpec{
+			{Name: "T", Elems: 64, ElemSize: 4, Test: core.Priv, RICO: true},
+		},
+		Body: func(exec, iter int, c *Ctx) {
+			c.Compute(50)
+			if iter == 10 {
+				c.Store(0, 7)
+			}
+			if iter == 100 {
+				c.Load(0, 7)
+			}
+			c.Store(0, 32+iter%32)
+			c.Load(0, 32+iter%32)
+		},
+		HWSched: sched.Config{Kind: sched.Dynamic, Chunk: 1},
+	}
+	r := MustExecute(w, Config{Procs: 4, Mode: HW, Contention: true, EpochIters: 32})
+	if r.Failures != 1 {
+		t.Fatalf("cross-epoch dependence missed: %+v", r)
+	}
+}
+
+func TestSparseBackupCheaperWhenWritesSparse(t *testing.T) {
+	// A large array where only a few elements are written: saving
+	// individual elements on first write beats copying the whole array
+	// (§2.2.1).
+	mk := func(sparse bool) *Workload {
+		return &Workload{
+			Name:       "sparse",
+			Executions: 1,
+			Iterations: func(int) int { return 32 },
+			Arrays: []ArraySpec{
+				{Name: "A", Elems: 1 << 15, ElemSize: 4, Test: core.NonPriv, SparseBackup: sparse},
+			},
+			Body: func(exec, iter int, c *Ctx) {
+				c.Compute(100)
+				c.Store(0, iter) // 32 of 32768 elements written
+				c.Load(0, iter)
+			},
+		}
+	}
+	full := MustExecute(mk(false), cfgFor(HW, 4))
+	sparse := MustExecute(mk(true), cfgFor(HW, 4))
+	if full.Failures+sparse.Failures != 0 {
+		t.Fatalf("failures: full=%d sparse=%d", full.Failures, sparse.Failures)
+	}
+	if sparse.Cycles >= full.Cycles {
+		t.Fatalf("sparse backup (%d) not cheaper than full (%d)", sparse.Cycles, full.Cycles)
+	}
+}
+
+func TestSparseBackupRestoreOnFailure(t *testing.T) {
+	// A failing loop with sparse backup: the restore phase copies only
+	// saved lines, and the failure handling still completes.
+	w := depLoop(core.NonPriv, 64)
+	w.Arrays[0].SparseBackup = true
+	serial := MustExecute(w, cfgFor(Serial, 1))
+	r := MustExecute(w, cfgFor(HW, 4))
+	if r.Failures != 1 {
+		t.Fatalf("failures = %d", r.Failures)
+	}
+	if r.Cycles <= serial.Cycles {
+		t.Fatal("failed run should still include serial re-execution")
+	}
+}
+
+func TestSparseBackupSavesOncePerExecution(t *testing.T) {
+	// Two executions: the saved-set resets, so each execution saves its
+	// written elements again (the backup must hold pre-execution state).
+	w := indepLoop(core.NonPriv, 16, 16, 50)
+	w.Executions = 2
+	w.Arrays[0].SparseBackup = true
+	r := MustExecute(w, cfgFor(HW, 2))
+	if r.Failures != 0 {
+		t.Fatalf("failures = %d", r.Failures)
+	}
+}
+
+func TestCopyOutChargedForLiveOutArrays(t *testing.T) {
+	mk := func(liveOut bool) *Workload {
+		return &Workload{
+			Name:       "liveout",
+			Executions: 1,
+			Iterations: func(int) int { return 64 },
+			Arrays: []ArraySpec{
+				{Name: "T", Elems: 64, ElemSize: 4, Test: core.Priv, RICO: true, LiveOut: liveOut},
+			},
+			Body: func(exec, iter int, c *Ctx) {
+				c.Store(0, iter)
+				c.Compute(50)
+				c.Load(0, iter)
+			},
+			HWSched: sched.Config{Kind: sched.Dynamic, Chunk: 2},
+		}
+	}
+	with := MustExecute(mk(true), cfgFor(HW, 4))
+	without := MustExecute(mk(false), cfgFor(HW, 4))
+	if with.Failures+without.Failures != 0 {
+		t.Fatal("unexpected failures")
+	}
+	if with.Cycles <= without.Cycles {
+		t.Fatalf("copy-out should cost cycles: liveOut %d vs %d", with.Cycles, without.Cycles)
+	}
+}
+
+func TestExceptionAbortsAndReexecutesSerially(t *testing.T) {
+	mk := func() *Workload {
+		return &Workload{
+			Name:       "excepting",
+			Executions: 1,
+			Iterations: func(int) int { return 64 },
+			Arrays: []ArraySpec{
+				{Name: "A", Elems: 64, ElemSize: 4, Test: core.NonPriv},
+			},
+			Body: func(exec, iter int, c *Ctx) {
+				c.Compute(100)
+				c.Store(0, iter)
+				if iter == 10 {
+					c.Exception() // misspeculation artifact
+				}
+			},
+		}
+	}
+	serial := MustExecute(mk(), cfgFor(Serial, 1))
+	if serial.Exceptions != 0 {
+		t.Fatal("serial execution must ignore speculative exceptions")
+	}
+	for _, mode := range []Mode{SW, HW} {
+		r := MustExecute(mk(), cfgFor(mode, 4))
+		if r.Exceptions != 1 {
+			t.Fatalf("%v: exceptions = %d, want 1", mode, r.Exceptions)
+		}
+		if r.Failures != 0 {
+			t.Fatalf("%v: exception misclassified as failure", mode)
+		}
+		if r.Cycles <= serial.Cycles {
+			t.Fatalf("%v: exception handling (%d) must include serial re-execution (%d)",
+				mode, r.Cycles, serial.Cycles)
+		}
+	}
+}
+
+func TestExceptionDetectedImmediately(t *testing.T) {
+	// Unlike a dependence (which SW only discovers after the loop), an
+	// exception aborts the speculative execution immediately under both
+	// schemes (§2.2).
+	w := &Workload{
+		Name:       "exc-early",
+		Executions: 1,
+		Iterations: func(int) int { return 512 },
+		Arrays: []ArraySpec{
+			{Name: "A", Elems: 64, ElemSize: 4, Test: core.NonPriv},
+		},
+		Body: func(exec, iter int, c *Ctx) {
+			c.Compute(200)
+			if iter == 0 {
+				c.Exception()
+			}
+			c.Store(0, iter%64)
+		},
+		HWSched: sched.Config{Kind: sched.Dynamic, Chunk: 1},
+	}
+	hw := MustExecute(w, cfgFor(HW, 4))
+	sw := MustExecute(w, cfgFor(SW, 4))
+	if hw.Exceptions != 1 || sw.Exceptions != 1 {
+		t.Fatalf("exceptions hw=%d sw=%d", hw.Exceptions, sw.Exceptions)
+	}
+	// 512 iterations x 200 cycles / 4 procs ≈ 25k cycles of loop; the
+	// iteration-0 exception must abort within a small fraction of that.
+	for _, r := range []*Result{hw, sw} {
+		if r.FailDetectCycles > 5000 {
+			t.Fatalf("%v: exception detected late (%d cycles)", r.Mode, r.FailDetectCycles)
+		}
+	}
+}
+
+func TestAdaptivePolicyStopsSpeculating(t *testing.T) {
+	// A loop that fails every execution: after 2 consecutive failures
+	// the adaptive policy runs the rest serially, avoiding the wasted
+	// speculation.
+	mk := func(adaptive int) (*Workload, Config) {
+		w := depLoop(core.NonPriv, 64)
+		w.Executions = 8
+		cfg := cfgFor(HW, 4)
+		cfg.AdaptiveAfter = adaptive
+		return w, cfg
+	}
+	w, cfg := mk(0)
+	always := MustExecute(w, cfg)
+	w, cfg = mk(2)
+	adaptive := MustExecute(w, cfg)
+	if always.Failures != 8 {
+		t.Fatalf("baseline failures = %d, want 8", always.Failures)
+	}
+	if adaptive.Failures != 2 || adaptive.SerialFallbacks != 6 {
+		t.Fatalf("adaptive: failures=%d fallbacks=%d, want 2/6",
+			adaptive.Failures, adaptive.SerialFallbacks)
+	}
+	if adaptive.Cycles >= always.Cycles {
+		t.Fatalf("adaptive (%d) not cheaper than always-speculate (%d)",
+			adaptive.Cycles, always.Cycles)
+	}
+}
+
+func TestAdaptivePolicyResetsOnSuccess(t *testing.T) {
+	// Failures alternate with successes: the consecutive counter resets,
+	// so speculation continues.
+	w := &Workload{
+		Name:       "alternating",
+		Executions: 6,
+		Iterations: func(int) int { return 32 },
+		Arrays: []ArraySpec{
+			{Name: "A", Elems: 64, ElemSize: 4, Test: core.NonPriv},
+		},
+		Body: func(exec, iter int, c *Ctx) {
+			c.Compute(50)
+			c.Store(0, iter)
+			if exec%2 == 0 && iter == 1 {
+				c.Load(0, 0) // dependence on even executions only
+			}
+		},
+		HWSched: sched.Config{Kind: sched.Dynamic, Chunk: 1},
+	}
+	cfg := cfgFor(HW, 4)
+	cfg.AdaptiveAfter = 2
+	r := MustExecute(w, cfg)
+	if r.SerialFallbacks != 0 {
+		t.Fatalf("alternating loop fell back (%d): counter did not reset", r.SerialFallbacks)
+	}
+	if r.Failures != 3 {
+		t.Fatalf("failures = %d, want 3 (even executions)", r.Failures)
+	}
+}
+
+func TestThirtyTwoProcessorSmoke(t *testing.T) {
+	// The machine scales beyond the paper's 16 processors (sharer
+	// bitsets hold 64); a quick 32-processor run keeps that path alive.
+	w := indepLoop(core.NonPriv, 256, 256, 400)
+	serial := MustExecute(w, cfgFor(Serial, 1))
+	hw := MustExecute(w, cfgFor(HW, 32))
+	if hw.Failures != 0 {
+		t.Fatalf("32-proc HW failed: %+v", hw.FirstFailure)
+	}
+	if sp := Speedup(serial, hw); sp < 2 {
+		t.Fatalf("32-proc speedup %.2f too low", sp)
+	}
+}

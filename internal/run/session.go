@@ -1,0 +1,511 @@
+package run
+
+import (
+	"specrt/internal/core"
+	"specrt/internal/cpu"
+	"specrt/internal/lrpd"
+	"specrt/internal/machine"
+	"specrt/internal/mem"
+	"specrt/internal/sched"
+	"specrt/internal/sim"
+)
+
+// Well-known synchronization IDs.
+const (
+	phaseBarrier  = 1
+	dispenserLock = 1
+)
+
+// grabCost is the bookkeeping cost of one dynamic-scheduling dispense
+// beyond the lock round trip.
+const grabCost = 6
+
+// session holds the simulated state for one Execute call.
+type session struct {
+	w   *Workload
+	cfg Config
+	m   *machine.Machine
+	ctl *core.Controller
+	sys *cpu.System
+
+	procs    int // participating processors
+	procIDs  []int
+	shared   []mem.Region // one per workload array
+	hwArrays []*core.Array
+	backups  []mem.Region // zero-valued if the array needs no backup
+
+	// Software-scheme state.
+	swRd, swWr [][]mem.Region // [array][proc] shadow stamp arrays
+	swGlobal   []mem.Region   // [array] merged shadow target
+	swPriv     [][]mem.Region // [array][proc] private data copies
+	swTouched  [][][]bool     // [array][proc][elem] first-touch (read-in)
+	// swLines[arr][proc] records which global-shadow lines the processor
+	// marked, for the sparse merge.
+	swLines []map[int]map[int]bool
+	// sparseSaved[arr][elem] marks elements already saved by the sparse
+	// backup in the current execution.
+	sparseSaved [][]bool
+	trace       [][]lrpd.Op   // [array] recorded accesses of this execution
+	staticMap   []sched.Block // schedule used, for the processor-wise test
+}
+
+func newSession(w *Workload, cfg Config) *session {
+	procs := cfg.Procs
+	if cfg.Mode == Serial {
+		procs = 1
+	}
+	mcfg := machine.DefaultConfig(procs)
+	mcfg.Contention = cfg.Contention
+	mcfg.StallWrites = cfg.StallWrites
+	if cfg.HomeOccMultiplier > 1 {
+		mcfg.Lat.HomeOccLine *= cfg.HomeOccMultiplier
+		mcfg.Lat.HomeOccMsg *= cfg.HomeOccMultiplier
+	}
+	m := machine.MustNew(mcfg)
+
+	s := &session{w: w, cfg: cfg, m: m, procs: procs}
+	for p := 0; p < procs; p++ {
+		s.procIDs = append(s.procIDs, p)
+	}
+
+	place := mem.RoundRobin
+	if cfg.Mode == Serial {
+		place = mem.Local
+	}
+	for _, a := range w.Arrays {
+		s.shared = append(s.shared, m.Space.Alloc(a.Name, a.Elems, a.ElemSize, place, 0))
+	}
+
+	if cfg.Mode == HW {
+		s.ctl = core.NewController(m)
+		s.ctl.LineGrain = cfg.LineGrainBits
+		for i, a := range w.Arrays {
+			switch a.Test {
+			case core.NonPriv:
+				s.hwArrays = append(s.hwArrays, s.ctl.AddNonPriv(s.shared[i]))
+			case core.Priv:
+				s.hwArrays = append(s.hwArrays, s.ctl.AddPriv(s.shared[i], a.RICO))
+			default:
+				s.hwArrays = append(s.hwArrays, nil)
+			}
+		}
+	}
+
+	s.sys = cpu.NewSystem(m, s.ctl)
+	s.sys.SetBarrier(phaseBarrier, procs)
+
+	// Backup copies for arrays modified in place by the speculative
+	// execution (non-privatized arrays under test).
+	if cfg.Mode == SW || cfg.Mode == HW {
+		for i, a := range w.Arrays {
+			if a.Test == core.NonPriv {
+				s.backups = append(s.backups,
+					m.Space.Alloc(a.Name+".bak", a.Elems, a.ElemSize, mem.RoundRobin, 0))
+			} else {
+				s.backups = append(s.backups, mem.Region{})
+			}
+			_ = i
+		}
+	}
+
+	if cfg.Mode == SW {
+		s.setupSW()
+	}
+	return s
+}
+
+// shadowElems returns the shadow-array length for an array of n elements:
+// iteration stamps need one word per element; the processor-wise test
+// packs one bit per element into words (§2.2.3).
+func (s *session) shadowElems(n int) int {
+	if s.w.SWProcWise {
+		return (n + 31) / 32
+	}
+	return n
+}
+
+func (s *session) setupSW() {
+	w, m := s.w, s.m
+	for i, a := range w.Arrays {
+		var rd, wr, priv []mem.Region
+		if a.Test != core.Plain {
+			ne := s.shadowElems(a.Elems)
+			for p := 0; p < s.procs; p++ {
+				rd = append(rd, m.Space.Alloc(nameP(a.Name, "rdsh", p), ne, 4, mem.Local, p))
+				wr = append(wr, m.Space.Alloc(nameP(a.Name, "wrsh", p), ne, 4, mem.Local, p))
+				if a.Test == core.Priv {
+					priv = append(priv, m.Space.Alloc(nameP(a.Name, "priv", p), a.Elems, a.ElemSize, mem.Local, p))
+				}
+			}
+			s.swGlobal = append(s.swGlobal, m.Space.Alloc(a.Name+".gsh", ne, 4, mem.RoundRobin, 0))
+		} else {
+			s.swGlobal = append(s.swGlobal, mem.Region{})
+		}
+		s.swRd = append(s.swRd, rd)
+		s.swWr = append(s.swWr, wr)
+		s.swPriv = append(s.swPriv, priv)
+		_ = i
+	}
+}
+
+func nameP(arr, kind string, p int) string {
+	return arr + "." + kind + string(rune('0'+p/10)) + string(rune('0'+p%10))
+}
+
+// resetSparse clears per-execution sparse-backup state.
+func (s *session) resetSparse() {
+	if s.cfg.Mode != SW && s.cfg.Mode != HW {
+		return
+	}
+	s.sparseSaved = make([][]bool, len(s.w.Arrays))
+	for i, a := range s.w.Arrays {
+		if a.Test == core.NonPriv && a.SparseBackup {
+			s.sparseSaved[i] = make([]bool, a.Elems)
+		}
+	}
+}
+
+// resetSWExec clears per-execution software state.
+func (s *session) resetSWExec() {
+	s.trace = make([][]lrpd.Op, len(s.w.Arrays))
+	s.swTouched = make([][][]bool, len(s.w.Arrays))
+	s.swLines = make([]map[int]map[int]bool, len(s.w.Arrays))
+	for i, a := range s.w.Arrays {
+		if a.Test == core.Plain {
+			continue
+		}
+		s.swLines[i] = make(map[int]map[int]bool, s.procs)
+		for p := 0; p < s.procs; p++ {
+			s.swLines[i][p] = make(map[int]bool)
+		}
+		if a.Test == core.Priv {
+			s.swTouched[i] = make([][]bool, s.procs)
+			for p := range s.swTouched[i] {
+				s.swTouched[i][p] = make([]bool, a.Elems)
+			}
+		}
+	}
+}
+
+// avgBreakdown sums the per-processor breakdowns divided by the
+// participant count.
+func (s *session) sumBreakdown() cpu.Breakdown {
+	var b cpu.Breakdown
+	for _, p := range s.sys.Procs {
+		b.Add(p.B)
+	}
+	return b
+}
+
+// runOne simulates a single loop execution and accumulates into res.
+func (s *session) runOne(exec int, res *Result) {
+	eng := s.m.Eng
+	s.m.FlushCaches()
+	start := eng.Now()
+	bdStart := s.sumBreakdown()
+
+	var serialCycles sim.Time
+	var serialBd cpu.Breakdown
+
+	s.resetSparse()
+
+	switch s.cfg.Mode {
+	case Serial, Ideal:
+		s.loopPhase(exec)
+
+	case HW:
+		s.copyPhase(false)
+		s.ctl.Arm()
+		loopStart := eng.Now()
+		s.loopPhase(exec)
+		if _, aborted := s.sys.Aborted(); !aborted {
+			// Drain in-flight protocol messages: a dependence may be
+			// detected by a bit-update still in the network.
+			eng.Run()
+		}
+		if _, aborted := s.sys.Aborted(); !aborted {
+			// Final writeback: dirty lines of arrays under test merge
+			// their tag state into the directory tables, which checks
+			// for conflicts that never met during the loop (see
+			// npMergeLine). The flush doubles as the between-executions
+			// cache flush of §5.2.
+			s.m.FlushCaches()
+		}
+		if f, aborted := s.sys.Aborted(); aborted || s.ctl.Failed() != nil {
+			if f == nil {
+				f = s.ctl.Failed()
+			}
+			s.ctl.Disarm()
+			if s.sys.Excepted() && f == nil {
+				res.Exceptions++
+			} else {
+				if res.FirstFailure == nil {
+					res.FirstFailure = f
+				}
+				res.Failures++
+			}
+			res.FailDetectCycles += eng.Now() - loopStart
+			s.copyPhase(true) // restore
+			serialCycles, serialBd = s.serialReexec(exec)
+		} else {
+			s.copyOutPhase()
+			s.ctl.Disarm()
+		}
+
+	case SW:
+		s.resetSWExec()
+		s.copyPhase(false) // backup + shadow zero-out
+		loopStart := eng.Now()
+		s.loopPhase(exec)
+		if s.sys.Excepted() {
+			// An exception during the speculative doall: abort, skip
+			// the analysis, restore and re-execute serially (§2.2).
+			res.Exceptions++
+			res.FailDetectCycles += eng.Now() - loopStart
+			s.copyPhase(true)
+			serialCycles, serialBd = s.serialReexec(exec)
+			break
+		}
+		s.mergePhase()
+		failed := s.analyze(exec, res)
+		if failed {
+			res.Failures++
+			res.FailDetectCycles += eng.Now() - loopStart
+			s.copyPhase(true) // restore
+			serialCycles, serialBd = s.serialReexec(exec)
+		}
+	}
+
+	res.Cycles += (eng.Now() - start) + serialCycles
+	bdEnd := s.sumBreakdown()
+	delta := cpu.Breakdown{
+		Busy: (bdEnd.Busy - bdStart.Busy) / sim.Time(s.procs),
+		Mem:  (bdEnd.Mem - bdStart.Mem) / sim.Time(s.procs),
+		Sync: (bdEnd.Sync - bdStart.Sync) / sim.Time(s.procs),
+	}
+	delta.Add(serialBd)
+	res.Breakdown.Add(delta)
+}
+
+// serialReexec simulates the failed loop instance serially on a fresh
+// uniprocessor machine with local data, per the paper's accounting
+// ("plus the Serial time", §6.2).
+func (s *session) serialReexec(exec int) (sim.Time, cpu.Breakdown) {
+	w1 := &Workload{
+		Name:       s.w.Name + ".reexec",
+		Executions: 1,
+		Iterations: func(int) int { return s.w.Iterations(exec) },
+		Arrays:     s.w.Arrays,
+		Body:       func(_, iter int, c *Ctx) { s.w.Body(exec, iter, c) },
+	}
+	r := MustExecute(w1, Config{Procs: 1, Mode: Serial, Contention: s.cfg.Contention})
+	return r.Cycles, r.Breakdown
+}
+
+// analyze runs the real LRPD test over the recorded trace, filling
+// res.Verdicts; it returns true if any array under test failed.
+func (s *session) analyze(exec int, res *Result) bool {
+	failed := false
+	for i, a := range s.w.Arrays {
+		if a.Test == core.Plain {
+			continue
+		}
+		ops := s.trace[i]
+		if s.w.SWProcWise {
+			ops = lrpd.ProcessorWise(ops, s.chunkOf)
+		}
+		var v lrpd.Verdict
+		if a.Test == core.Priv {
+			v = lrpd.TestWithReadIn(a.Elems, ops).Verdict
+		} else {
+			v = lrpd.Test(a.Elems, ops, false).Verdict
+		}
+		res.Verdicts[a.Name] = v
+		if v == lrpd.NotParallel {
+			failed = true
+		}
+	}
+	return failed
+}
+
+// chunkOf maps an iteration to its processor under the static schedule
+// used by the processor-wise test.
+func (s *session) chunkOf(iter int) int {
+	for p, b := range s.staticMap {
+		if iter >= b.Lo && iter < b.Hi {
+			return p
+		}
+	}
+	return 0
+}
+
+// elemsPerLine returns how many elements of r fit a cache line.
+func (s *session) elemsPerLine(r mem.Region) int {
+	n := s.m.LineBytes() / r.ElemSize
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// copyPhase runs the parallel backup (restore=false) or restore
+// (restore=true) of all backed-up arrays, and for SW also the shadow
+// zero-out on the backup pass. Work is chunked across processors and
+// closed with a barrier.
+func (s *session) copyPhase(restore bool) {
+	sources := make([]cpu.Source, s.procs)
+	for p := 0; p < s.procs; p++ {
+		var ins []cpu.Instr
+		for i, a := range s.w.Arrays {
+			bak := s.backups[i]
+			if bak.Bytes == 0 {
+				continue
+			}
+			if a.SparseBackup && !restore {
+				continue // elements save lazily at first write
+			}
+			src, dst := s.shared[i], bak
+			if restore {
+				src, dst = dst, src
+			}
+			step := s.elemsPerLine(src)
+			n := src.Elems
+			lo, hi := p*n/s.procs, (p+1)*n/s.procs
+			for e := lo; e < hi; e += step {
+				if a.SparseBackup && !s.lineSaved(i, e, step) {
+					continue // nothing of this line was modified
+				}
+				ins = append(ins, cpu.Load(src.ElemAddr(e)), cpu.Store(dst.ElemAddr(e)), cpu.Compute(1))
+			}
+		}
+		if s.cfg.Mode == SW && !restore {
+			// Zero out this processor's own shadow arrays.
+			for i, a := range s.w.Arrays {
+				if a.Test == core.Plain {
+					continue
+				}
+				for _, sh := range []mem.Region{s.swRd[i][p], s.swWr[i][p]} {
+					step := s.elemsPerLine(sh)
+					for e := 0; e < sh.Elems; e += step {
+						ins = append(ins, cpu.Store(sh.ElemAddr(e)), cpu.Compute(1))
+					}
+				}
+			}
+		}
+		ins = append(ins, cpu.Barrier(phaseBarrier))
+		sources[p] = cpu.SliceSource(ins)
+	}
+	s.sys.Run(s.procIDs, sources)
+}
+
+// lineSaved reports whether any element of the line starting at e was
+// sparse-saved.
+func (s *session) lineSaved(arr, e, step int) bool {
+	saved := s.sparseSaved[arr]
+	for k := e; k < e+step && k < len(saved); k++ {
+		if saved[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// copyOutPhase charges the copy-out of privatized live-out arrays after a
+// successful HW execution (§3.3).
+func (s *session) copyOutPhase() {
+	need := false
+	for i, a := range s.w.Arrays {
+		if a.Test == core.Priv && a.LiveOut && s.hwArrays[i] != nil {
+			need = true
+		}
+	}
+	if !need {
+		return
+	}
+	sources := make([]cpu.Source, s.procs)
+	for p := 0; p < s.procs; p++ {
+		p := p
+		emitted := 0
+		sources[p] = func(*cpu.Proc) (cpu.Instr, bool) {
+			if emitted == 0 {
+				emitted++
+				var lat sim.Time
+				for i, a := range s.w.Arrays {
+					if a.Test == core.Priv && a.LiveOut {
+						lat += s.ctl.CopyOut(s.hwArrays[i], p)
+					}
+				}
+				return cpu.Compute(lat + 1), true
+			}
+			if emitted == 1 {
+				emitted++
+				return cpu.Barrier(phaseBarrier), true
+			}
+			return cpu.Instr{}, false
+		}
+	}
+	s.sys.Run(s.procIDs, sources)
+}
+
+// mergePhase models the SW merging + analysis work (§2.2.2): each
+// processor scans its *own* private shadow arrays sequentially (they are
+// cache-resident after the zero-out and marking), pushes the lines it
+// actually marked into the global shadow arrays, and then analyzes its
+// chunk of the merged global shadows. Per-processor work stays constant
+// as processors are added (§6.3), which is what limits SW scalability.
+func (s *session) mergePhase() {
+	sources := make([]cpu.Source, s.procs)
+	for p := 0; p < s.procs; p++ {
+		var ins []cpu.Instr
+		for i, a := range s.w.Arrays {
+			if a.Test == core.Plain {
+				continue
+			}
+			g := s.swGlobal[i]
+			step := s.elemsPerLine(g)
+			// Scan own shadows (sequential, mostly cache hits).
+			for e := 0; e < g.Elems; e += step {
+				ins = append(ins,
+					cpu.Load(s.swWr[i][p].ElemAddr(e)),
+					cpu.Load(s.swRd[i][p].ElemAddr(e)),
+					cpu.Compute(2))
+			}
+			// Sparse merge: update only the global-shadow lines this
+			// processor marked.
+			lines := make([]int, 0, len(s.swLines[i][p]))
+			for ln := range s.swLines[i][p] {
+				lines = append(lines, ln)
+			}
+			sortInts(lines)
+			for _, ln := range lines {
+				e := ln * step
+				if e >= g.Elems {
+					e = g.Elems - 1
+				}
+				ins = append(ins,
+					cpu.Load(g.ElemAddr(e)),
+					cpu.Compute(sim.Time(step)),
+					cpu.Store(g.ElemAddr(e)))
+			}
+			ins = append(ins, cpu.Barrier(phaseBarrier))
+			// Analysis: each processor checks its chunk of the merged
+			// global shadows.
+			lo, hi := p*g.Elems/s.procs, (p+1)*g.Elems/s.procs
+			for e := lo; e < hi; e += step {
+				ins = append(ins, cpu.Load(g.ElemAddr(e)), cpu.Compute(sim.Time(step)))
+			}
+		}
+		ins = append(ins, cpu.Barrier(phaseBarrier))
+		sources[p] = cpu.SliceSource(ins)
+	}
+	s.sys.Run(s.procIDs, sources)
+}
+
+// sortInts is a tiny insertion sort; merge line sets are small.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package sched provides the iteration-scheduling policies the paper's
+// evaluation uses: static chunking (required by the processor-wise
+// software test), dynamic self-scheduling in small blocks (used by the
+// hardware scheme on imbalanced loops like Track, §5.2), and block-cyclic
+// scheduling (the superiteration optimization of §4.1).
+package sched
+
+import "fmt"
+
+// Kind selects a scheduling policy.
+type Kind uint8
+
+const (
+	// Static splits the iteration space into one contiguous chunk per
+	// processor.
+	Static Kind = iota
+	// Dynamic self-schedules blocks of Chunk iterations from a shared
+	// counter protected by a lock.
+	Dynamic
+	// BlockCyclic deals blocks of Chunk iterations round-robin to the
+	// processors at loop start (no run-time dispenser).
+	BlockCyclic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case BlockCyclic:
+		return "block-cyclic"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Config describes a schedule.
+type Config struct {
+	Kind  Kind
+	Chunk int // block size for Dynamic and BlockCyclic
+}
+
+// Block is a contiguous run of iterations [Lo, Hi) forming one
+// superiteration. Super is its 1-based superiteration number, globally
+// ordered by Lo, which the privatization protocol uses as the effective
+// iteration time stamp (§4.1).
+type Block struct {
+	Lo, Hi int
+	Super  int
+}
+
+// StaticBlocks returns the single chunk of each processor; processors
+// beyond the iteration count get empty blocks.
+func StaticBlocks(iters, procs int) []Block {
+	out := make([]Block, procs)
+	for p := 0; p < procs; p++ {
+		lo := p * iters / procs
+		hi := (p + 1) * iters / procs
+		out[p] = Block{Lo: lo, Hi: hi, Super: p + 1}
+	}
+	return out
+}
+
+// BlockCyclicBlocks returns each processor's dealt blocks.
+func BlockCyclicBlocks(iters, procs, chunk int) [][]Block {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	out := make([][]Block, procs)
+	super := 0
+	for lo := 0; lo < iters; lo += chunk {
+		hi := lo + chunk
+		if hi > iters {
+			hi = iters
+		}
+		super++
+		p := (super - 1) % procs
+		out[p] = append(out[p], Block{Lo: lo, Hi: hi, Super: super})
+	}
+	return out
+}
+
+// Dispenser is the shared counter of dynamic self-scheduling. Callers
+// must model the lock-protected grab themselves (the run package emits a
+// lock acquire/release around each Next).
+type Dispenser struct {
+	iters int
+	chunk int
+	next  int
+	super int
+}
+
+// NewDispenser creates a dispenser over iters iterations in blocks of
+// chunk.
+func NewDispenser(iters, chunk int) *Dispenser {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	return &Dispenser{iters: iters, chunk: chunk}
+}
+
+// Next grabs the next block; ok is false when the iteration space is
+// exhausted.
+func (d *Dispenser) Next() (b Block, ok bool) {
+	if d.next >= d.iters {
+		return Block{}, false
+	}
+	lo := d.next
+	hi := lo + d.chunk
+	if hi > d.iters {
+		hi = d.iters
+	}
+	d.next = hi
+	d.super++
+	return Block{Lo: lo, Hi: hi, Super: d.super}, true
+}
+
+// Remaining reports how many iterations have not been dealt yet.
+func (d *Dispenser) Remaining() int { return d.iters - d.next }
+
+// Reset rewinds the dispenser for a new execution.
+func (d *Dispenser) Reset() { d.next = 0; d.super = 0 }

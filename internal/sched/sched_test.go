@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStaticBlocksCoverAll(t *testing.T) {
+	bs := StaticBlocks(100, 8)
+	if len(bs) != 8 {
+		t.Fatalf("blocks = %d", len(bs))
+	}
+	covered := 0
+	for p, b := range bs {
+		covered += b.Hi - b.Lo
+		if b.Super != p+1 {
+			t.Fatalf("super of proc %d = %d", p, b.Super)
+		}
+		if p > 0 && bs[p-1].Hi != b.Lo {
+			t.Fatalf("gap between chunks %d and %d", p-1, p)
+		}
+	}
+	if covered != 100 {
+		t.Fatalf("covered = %d", covered)
+	}
+}
+
+func TestStaticMoreProcsThanIters(t *testing.T) {
+	bs := StaticBlocks(3, 8)
+	covered := 0
+	for _, b := range bs {
+		covered += b.Hi - b.Lo
+	}
+	if covered != 3 {
+		t.Fatalf("covered = %d", covered)
+	}
+}
+
+func TestBlockCyclic(t *testing.T) {
+	bss := BlockCyclicBlocks(10, 2, 3) // blocks: [0,3) [3,6) [6,9) [9,10)
+	if len(bss[0]) != 2 || len(bss[1]) != 2 {
+		t.Fatalf("deal = %d/%d blocks", len(bss[0]), len(bss[1]))
+	}
+	if bss[0][0].Lo != 0 || bss[1][0].Lo != 3 || bss[0][1].Lo != 6 || bss[1][1].Lo != 9 {
+		t.Fatalf("deal = %+v", bss)
+	}
+	// Supers increase with Lo.
+	if bss[0][0].Super != 1 || bss[1][0].Super != 2 || bss[0][1].Super != 3 || bss[1][1].Super != 4 {
+		t.Fatalf("supers = %+v", bss)
+	}
+}
+
+func TestBlockCyclicChunkDefault(t *testing.T) {
+	bss := BlockCyclicBlocks(4, 2, 0) // chunk 0 -> 1
+	total := 0
+	for _, bs := range bss {
+		for _, b := range bs {
+			total += b.Hi - b.Lo
+		}
+	}
+	if total != 4 {
+		t.Fatalf("covered = %d", total)
+	}
+}
+
+func TestDispenser(t *testing.T) {
+	d := NewDispenser(10, 4)
+	var blocks []Block
+	for {
+		b, ok := d.Next()
+		if !ok {
+			break
+		}
+		blocks = append(blocks, b)
+	}
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %v", blocks)
+	}
+	if blocks[2].Lo != 8 || blocks[2].Hi != 10 || blocks[2].Super != 3 {
+		t.Fatalf("last block = %+v", blocks[2])
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining = %d", d.Remaining())
+	}
+	d.Reset()
+	if b, ok := d.Next(); !ok || b.Lo != 0 || b.Super != 1 {
+		t.Fatalf("after reset: %+v %v", b, ok)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" || BlockCyclic.String() != "block-cyclic" {
+		t.Fatal("Kind strings wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind should stringify")
+	}
+}
+
+// Property: every policy covers each iteration exactly once, with
+// increasing superiteration numbers.
+func TestPropertyCoverage(t *testing.T) {
+	f := func(itersRaw, procsRaw, chunkRaw uint8) bool {
+		iters := int(itersRaw%200) + 1
+		procs := int(procsRaw%16) + 1
+		chunk := int(chunkRaw%8) + 1
+
+		check := func(blocks []Block) bool {
+			seen := make([]int, iters)
+			lastSuper := 0
+			for _, b := range blocks {
+				if b.Super <= lastSuper {
+					return false
+				}
+				lastSuper = b.Super
+				for i := b.Lo; i < b.Hi; i++ {
+					seen[i]++
+				}
+			}
+			for _, n := range seen {
+				if n != 1 {
+					return false
+				}
+			}
+			return true
+		}
+
+		var all []Block
+		for _, b := range StaticBlocks(iters, procs) {
+			all = append(all, b)
+		}
+		if !check(all) {
+			return false
+		}
+
+		all = all[:0]
+		d := NewDispenser(iters, chunk)
+		for {
+			b, ok := d.Next()
+			if !ok {
+				break
+			}
+			all = append(all, b)
+		}
+		if !check(all) {
+			return false
+		}
+
+		all = all[:0]
+		for _, bs := range BlockCyclicBlocks(iters, procs, chunk) {
+			all = append(all, bs...)
+		}
+		// Block-cyclic blocks per proc are in increasing super order but
+		// interleaved across procs; sort by super for the global check.
+		for i := 1; i < len(all); i++ {
+			for j := i; j > 0 && all[j].Super < all[j-1].Super; j-- {
+				all[j], all[j-1] = all[j-1], all[j]
+			}
+		}
+		return check(all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

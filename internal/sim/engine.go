@@ -1,0 +1,114 @@
+// Package sim provides a deterministic discrete-event simulation engine and
+// simple queueing resources used to model contention in the memory system.
+//
+// The engine is single-threaded: events are executed strictly in (time,
+// sequence) order, so two runs over the same inputs produce identical
+// results. Components schedule closures; there are no goroutines involved.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated clock value in processor cycles.
+type Time = int64
+
+// event is a scheduled closure. seq breaks ties so that events scheduled
+// earlier run earlier, keeping the simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	nRun   uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsRun reports how many events have executed so far.
+func (e *Engine) EventsRun() uint64 { return e.nRun }
+
+// Pending reports how many events are waiting to run.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay cycles. A negative delay panics: scheduling
+// into the past would break causality.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t (>= Now).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the next event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.nRun++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Drain removes all pending events without running them. Used when a
+// speculative execution is aborted.
+func (e *Engine) Drain() {
+	e.events = e.events[:0]
+}

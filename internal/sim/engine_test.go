@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineZeroValue(t *testing.T) {
+	var e Engine
+	if e.Now() != 0 {
+		t.Fatalf("zero engine Now = %d, want 0", e.Now())
+	}
+	if e.Step() {
+		t.Fatal("Step on empty engine should return false")
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(10, func() { got = append(got, 2) })
+	e.Schedule(5, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 3) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %d, want 20", e.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 100; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events ran out of order: got[%d] = %d", i, got[i])
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	e.Schedule(1, func() {
+		trace = append(trace, e.Now())
+		e.Schedule(3, func() {
+			trace = append(trace, e.Now())
+		})
+	})
+	e.Run()
+	if len(trace) != 2 || trace[0] != 1 || trace[1] != 4 {
+		t.Fatalf("trace = %v, want [1 4]", trace)
+	}
+}
+
+func TestZeroDelay(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(5, func() {
+		e.Schedule(0, func() { ran = true })
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("zero-delay nested event did not run")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now = %d, want 5", e.Now())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestAtBeforeNowPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At before now did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	for _, d := range []Time{3, 6, 9} {
+		d := d
+		e.Schedule(d, func() { ran = append(ran, d) })
+	}
+	e.RunUntil(6)
+	if len(ran) != 2 {
+		t.Fatalf("RunUntil(6) ran %d events, want 2", len(ran))
+	}
+	if e.Now() != 6 {
+		t.Fatalf("Now = %d, want 6", e.Now())
+	}
+	e.RunUntil(100)
+	if len(ran) != 3 || e.Now() != 100 {
+		t.Fatalf("after RunUntil(100): ran=%v now=%d", ran, e.Now())
+	}
+}
+
+func TestDrain(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() { t.Fatal("drained event ran") })
+	e.Drain()
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Drain", e.Pending())
+	}
+}
+
+func TestEventsRunCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 17; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.EventsRun() != 17 {
+		t.Fatalf("EventsRun = %d, want 17", e.EventsRun())
+	}
+}
+
+// Property: events always execute in nondecreasing time order regardless of
+// insertion order.
+func TestPropertyTimeOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var times []Time
+		for _, d := range delays {
+			d := Time(d)
+			e.Schedule(d, func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		return sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the engine is deterministic — same schedule, same execution order.
+func TestPropertyDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var order []int
+		for i := 0; i < 300; i++ {
+			i := i
+			e.Schedule(Time(rng.Intn(50)), func() { order = append(order, i) })
+		}
+		e.Run()
+		return order
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic execution at index %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestServerNoContention(t *testing.T) {
+	var s Server
+	start := s.Acquire(100, 20)
+	if start != 100 {
+		t.Fatalf("start = %d, want 100 (idle server)", start)
+	}
+	if s.WaitCycles != 0 {
+		t.Fatalf("WaitCycles = %d, want 0", s.WaitCycles)
+	}
+}
+
+func TestServerQueueing(t *testing.T) {
+	var s Server
+	s.Acquire(0, 10)          // busy [0,10)
+	start := s.Acquire(5, 10) // arrives mid-service
+	if start != 10 {
+		t.Fatalf("second start = %d, want 10", start)
+	}
+	if s.WaitCycles != 5 {
+		t.Fatalf("WaitCycles = %d, want 5", s.WaitCycles)
+	}
+	start = s.Acquire(50, 10) // arrives after idle
+	if start != 50 {
+		t.Fatalf("third start = %d, want 50", start)
+	}
+	if s.Requests != 3 || s.BusyCycles != 30 {
+		t.Fatalf("Requests=%d BusyCycles=%d, want 3/30", s.Requests, s.BusyCycles)
+	}
+}
+
+func TestServerWaitProbe(t *testing.T) {
+	var s Server
+	s.Acquire(0, 10)
+	if w := s.Wait(4); w != 6 {
+		t.Fatalf("Wait(4) = %d, want 6", w)
+	}
+	if w := s.Wait(30); w != 0 {
+		t.Fatalf("Wait(30) = %d, want 0", w)
+	}
+	// Wait must not reserve.
+	if s.BusyUntilTime() != 10 {
+		t.Fatalf("Wait reserved the server: busyUntil=%d", s.BusyUntilTime())
+	}
+}
+
+func TestServerReset(t *testing.T) {
+	var s Server
+	s.Acquire(0, 10)
+	s.Reset()
+	if s.BusyUntilTime() != 0 || s.Requests != 0 || s.BusyCycles != 0 {
+		t.Fatal("Reset did not clear server state")
+	}
+}
+
+// Property: FIFO server — service start times are nondecreasing when
+// arrivals are nondecreasing, and never before arrival.
+func TestPropertyServerFIFO(t *testing.T) {
+	f := func(gaps []uint8, occs []uint8) bool {
+		var s Server
+		now := Time(0)
+		prevStart := Time(-1)
+		for i, g := range gaps {
+			now += Time(g)
+			occ := Time(1)
+			if i < len(occs) {
+				occ = Time(occs[i])%16 + 1
+			}
+			start := s.Acquire(now, occ)
+			if start < now || start < prevStart {
+				return false
+			}
+			prevStart = start
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

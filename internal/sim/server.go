@@ -1,0 +1,46 @@
+package sim
+
+// Server models a single-ported resource (a directory controller, a memory
+// bank) with deterministic FIFO queueing. A transaction arriving at time t
+// begins service at max(t, busyUntil), occupies the server for its occupancy,
+// and delays later arrivals. This is the classic "busy-until" contention
+// model: it captures queueing delay shape without simulating individual
+// queue slots.
+type Server struct {
+	busyUntil Time
+
+	// Accumulated statistics.
+	BusyCycles Time   // total cycles spent in service
+	WaitCycles Time   // total cycles transactions spent queued
+	Requests   uint64 // number of transactions served
+}
+
+// Acquire reserves the server for occ cycles for a transaction arriving at
+// time now. It returns the time service starts; the caller's queueing delay
+// is start - now.
+func (s *Server) Acquire(now Time, occ Time) (start Time) {
+	start = now
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	s.WaitCycles += start - now
+	s.BusyCycles += occ
+	s.busyUntil = start + occ
+	s.Requests++
+	return start
+}
+
+// Wait returns the queueing delay a transaction arriving at now would incur,
+// without reserving the server.
+func (s *Server) Wait(now Time) Time {
+	if s.busyUntil > now {
+		return s.busyUntil - now
+	}
+	return 0
+}
+
+// Reset clears the server's queue state and statistics.
+func (s *Server) Reset() { *s = Server{} }
+
+// BusyUntilTime exposes the current end of the busy period (for tests).
+func (s *Server) BusyUntilTime() Time { return s.busyUntil }

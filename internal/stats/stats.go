@@ -1,0 +1,94 @@
+// Package stats post-processes simulation results into the quantities
+// the paper plots: speedups, efficiencies, and execution-time breakdowns
+// normalized to the serial execution (Figures 11-14).
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"specrt/internal/cpu"
+	"specrt/internal/run"
+)
+
+// NormBreakdown is an execution-time bar normalized to a serial baseline:
+// the segment heights sum to the normalized total time.
+type NormBreakdown struct {
+	Busy, Mem, Sync float64
+}
+
+// Total returns the bar height (normalized execution time).
+func (n NormBreakdown) Total() float64 { return n.Busy + n.Mem + n.Sync }
+
+func (n NormBreakdown) String() string {
+	return fmt.Sprintf("%.2f (busy %.2f, mem %.2f, sync %.2f)",
+		n.Total(), n.Busy, n.Mem, n.Sync)
+}
+
+// Normalize scales a breakdown so that its segments are fractions of the
+// serial execution time, then rescales them so they sum to the measured
+// normalized wall time (the paper's bars are wall-time bars split by the
+// average processor's time categories).
+func Normalize(r *run.Result, serial *run.Result) NormBreakdown {
+	if serial.Cycles == 0 {
+		return NormBreakdown{}
+	}
+	wall := float64(r.Cycles) / float64(serial.Cycles)
+	b := r.Breakdown
+	tot := float64(b.Total())
+	if tot == 0 {
+		return NormBreakdown{Busy: wall}
+	}
+	scale := wall / tot
+	return NormBreakdown{
+		Busy: float64(b.Busy) * scale,
+		Mem:  float64(b.Mem) * scale,
+		Sync: float64(b.Sync) * scale,
+	}
+}
+
+// Efficiency returns speedup divided by processor count.
+func Efficiency(serial, parallel *run.Result) float64 {
+	if parallel.Procs == 0 {
+		return 0
+	}
+	return run.Speedup(serial, parallel) / float64(parallel.Procs)
+}
+
+// FracOfWork returns what fraction of the average processor's time went
+// to each category.
+func FracOfWork(b cpu.Breakdown) (busy, mem, sync float64) {
+	t := float64(b.Total())
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return float64(b.Busy) / t, float64(b.Mem) / t, float64(b.Sync) / t
+}
+
+// GeoMean returns the geometric mean of xs (the paper reports average
+// speedups across loops).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		prod *= x
+	}
+	return math.Pow(prod, 1.0/float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

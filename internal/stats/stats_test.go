@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"specrt/internal/cpu"
+	"specrt/internal/run"
+)
+
+func res(cycles int64, b cpu.Breakdown, procs int) *run.Result {
+	return &run.Result{Cycles: cycles, Breakdown: b, Procs: procs}
+}
+
+func TestNormalizeSerialIsOne(t *testing.T) {
+	serial := res(1000, cpu.Breakdown{Busy: 600, Mem: 400}, 1)
+	n := Normalize(serial, serial)
+	if math.Abs(n.Total()-1.0) > 1e-9 {
+		t.Fatalf("serial normalized total = %f", n.Total())
+	}
+	if math.Abs(n.Busy-0.6) > 1e-9 || math.Abs(n.Mem-0.4) > 1e-9 {
+		t.Fatalf("segments = %+v", n)
+	}
+}
+
+func TestNormalizeScalesToWall(t *testing.T) {
+	serial := res(1000, cpu.Breakdown{Busy: 1000}, 1)
+	par := res(250, cpu.Breakdown{Busy: 100, Mem: 100, Sync: 50}, 4)
+	n := Normalize(par, serial)
+	if math.Abs(n.Total()-0.25) > 1e-9 {
+		t.Fatalf("total = %f, want 0.25", n.Total())
+	}
+	// Segments keep their proportions.
+	if math.Abs(n.Busy-0.1) > 1e-9 || math.Abs(n.Mem-0.1) > 1e-9 || math.Abs(n.Sync-0.05) > 1e-9 {
+		t.Fatalf("segments = %+v", n)
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	serial := res(0, cpu.Breakdown{}, 1)
+	if n := Normalize(res(10, cpu.Breakdown{}, 1), serial); n.Total() != 0 {
+		t.Fatalf("zero serial should normalize to zero, got %+v", n)
+	}
+	serial = res(100, cpu.Breakdown{Busy: 100}, 1)
+	n := Normalize(res(50, cpu.Breakdown{}, 1), serial)
+	if math.Abs(n.Total()-0.5) > 1e-9 {
+		t.Fatalf("empty breakdown should fall back to wall time: %+v", n)
+	}
+}
+
+func TestNormBreakdownString(t *testing.T) {
+	n := NormBreakdown{Busy: 0.5, Mem: 0.25, Sync: 0.25}
+	s := n.String()
+	if !strings.Contains(s, "1.00") || !strings.Contains(s, "busy 0.50") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	serial := res(1600, cpu.Breakdown{}, 1)
+	par := res(200, cpu.Breakdown{}, 16)
+	if e := Efficiency(serial, par); math.Abs(e-0.5) > 1e-9 {
+		t.Fatalf("efficiency = %f, want 0.5", e)
+	}
+	if e := Efficiency(serial, res(100, cpu.Breakdown{}, 0)); e != 0 {
+		t.Fatalf("zero-proc efficiency = %f", e)
+	}
+}
+
+func TestFracOfWork(t *testing.T) {
+	b, m, s := FracOfWork(cpu.Breakdown{Busy: 50, Mem: 30, Sync: 20})
+	if math.Abs(b-0.5) > 1e-9 || math.Abs(m-0.3) > 1e-9 || math.Abs(s-0.2) > 1e-9 {
+		t.Fatalf("fracs = %f %f %f", b, m, s)
+	}
+	if b, m, s := FracOfWork(cpu.Breakdown{}); b+m+s != 0 {
+		t.Fatal("empty breakdown fracs not zero")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean = %f, want 4", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("geomean(nil) = %f", g)
+	}
+	if g := GeoMean([]float64{1, 0}); g != 0 {
+		t.Fatalf("geomean with zero = %f", g)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); math.Abs(m-2) > 1e-9 {
+		t.Fatalf("mean = %f", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("mean(nil) = %f", m)
+	}
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"specrt/internal/run"
+)
+
+// FuzzParse ensures the JSON loader never panics and that every
+// successfully parsed workload actually simulates.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(sample))
+	f.Add([]byte(`{"arrays":[{"elems":4,"elemSize":4}],"iterations":[[]]}`))
+	f.Add([]byte(`{"arrays":[{"elems":1,"elemSize":8,"test":"priv-rico"}],
+	               "iterations":[[{"op":"store","array":0,"elem":0}]]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: fine
+		}
+		// Accepted inputs must be simulatable without panicking.
+		if w.Iterations(0) > 64 || totalOps(w) > 512 {
+			return // keep the fuzz iteration cheap
+		}
+		r, err := run.Execute(w, run.Config{Procs: 2, Mode: run.HW, Contention: true})
+		if err != nil {
+			t.Fatalf("parsed workload rejected by Execute: %v", err)
+		}
+		if r.Cycles < 0 {
+			t.Fatal("negative cycles")
+		}
+	})
+}
+
+// totalOps bounds fuzz cost.
+func totalOps(w *run.Workload) int {
+	// The trace Body closes over the op lists; re-derive a cheap bound
+	// from the iteration count (each iteration has at most a handful of
+	// ops after validation, but pathological inputs could be long).
+	return w.Iterations(0) * 8
+}
+
+// FuzzParseNeverPanicsOnText drives the parser with mutated text from a
+// valid document.
+func FuzzParseNeverPanicsOnText(f *testing.F) {
+	f.Add(sample)
+	f.Fuzz(func(t *testing.T, doc string) {
+		Parse(strings.NewReader(doc)) //nolint:errcheck // must not panic
+	})
+}

@@ -1,0 +1,183 @@
+// Package specrt is a library-scale reproduction of "Hardware for
+// Speculative Run-Time Parallelization in Distributed Shared-Memory
+// Multiprocessors" (Zhang, Rauchwerger, Torrellas; HPCA 1998).
+//
+// It provides:
+//
+//   - A deterministic execution-driven simulator of a CC-NUMA
+//     multiprocessor with a DASH-like directory protocol, extended with
+//     the paper's two speculation protocols (non-privatization and
+//     privatization with read-in/copy-out).
+//   - The software LRPD test, both as a simulated baseline scheme and as
+//     a real host-parallel speculative-doall executor (SpeculativeDoAll).
+//   - Workload descriptions of the paper's four Perfect Club loops and a
+//     harness that regenerates every figure of the evaluation.
+//
+// Quick start:
+//
+//	w := specrt.PaperLoops()[0]               // Ocean
+//	serial := specrt.MustExecute(w, specrt.Config{Procs: 1, Mode: specrt.Serial, Contention: true, MaxExecutions: 2})
+//	hw := specrt.MustExecute(w, specrt.Config{Procs: 8, Mode: specrt.HW, Contention: true, MaxExecutions: 2})
+//	fmt.Printf("HW speedup: %.2f\n", specrt.Speedup(serial, hw))
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package specrt
+
+import (
+	"io"
+
+	"specrt/internal/core"
+	"specrt/internal/harness"
+	"specrt/internal/loops"
+	"specrt/internal/lrpd"
+	"specrt/internal/run"
+	"specrt/internal/sched"
+	"specrt/internal/trace"
+)
+
+// Core workload and execution types.
+type (
+	// Workload is an abstract loop nest (arrays, iteration bodies,
+	// scheduling preferences) to simulate.
+	Workload = run.Workload
+	// ArraySpec describes one array a workload touches and which
+	// run-time test it needs.
+	ArraySpec = run.ArraySpec
+	// Ctx is the body-emission context (Load/Store/Compute).
+	Ctx = run.Ctx
+	// Config parameterizes one Execute call.
+	Config = run.Config
+	// Result reports cycles, breakdowns and failures.
+	Result = run.Result
+	// Mode selects the execution scheme.
+	Mode = run.Mode
+	// SchedConfig selects an iteration-scheduling policy.
+	SchedConfig = sched.Config
+	// Failure describes a hardware-detected dependence.
+	Failure = core.Failure
+)
+
+// Execution schemes (§6): Serial baseline, Ideal doall, software LRPD
+// scheme, and the paper's hardware scheme.
+const (
+	Serial = run.Serial
+	Ideal  = run.Ideal
+	SW     = run.SW
+	HW     = run.HW
+)
+
+// Run-time tests for arrays under test.
+const (
+	Plain   = core.Plain
+	NonPriv = core.NonPriv
+	Priv    = core.Priv
+)
+
+// Scheduling policies.
+const (
+	Static      = sched.Static
+	Dynamic     = sched.Dynamic
+	BlockCyclic = sched.BlockCyclic
+)
+
+// Execute simulates workload w under cfg.
+func Execute(w *Workload, cfg Config) (*Result, error) { return run.Execute(w, cfg) }
+
+// MustExecute is Execute for known-good configurations.
+func MustExecute(w *Workload, cfg Config) *Result { return run.MustExecute(w, cfg) }
+
+// Speedup returns serial.Cycles / parallel.Cycles.
+func Speedup(serial, parallel *Result) float64 { return run.Speedup(serial, parallel) }
+
+// PaperLoops returns the four evaluated loops: Ocean, P3m, Adm, Track
+// (§5.2).
+func PaperLoops() []*Workload { return loops.All() }
+
+// PaperLoopProcs returns the processor count the paper uses for a loop
+// (Ocean 8, others 16).
+func PaperLoopProcs(name string) int { return loops.Procs(name) }
+
+// ForcedFailLoops returns the §6.2 forced-failure instances.
+func ForcedFailLoops(p3mIters int) []*Workload { return loops.ForcedFails(p3mIters) }
+
+// Harness regenerates the paper's figures.
+type Harness = harness.Harness
+
+// Scale bounds how much of each workload the harness simulates.
+type Scale = harness.Scale
+
+// Predefined harness scales.
+var (
+	QuickScale   = harness.Quick
+	DefaultScale = harness.Default
+	PaperScale   = harness.Paper
+)
+
+// NewHarness creates an experiment harness at the given scale.
+func NewHarness(sc Scale) *Harness { return harness.New(sc) }
+
+// LatencyRow pairs a configured §5.1 latency with a measured probe.
+type LatencyRow = harness.LatencyRow
+
+// MeasureLatencies probes an unloaded machine and returns the §5.1
+// round-trip latency table.
+func MeasureLatencies() []LatencyRow { return harness.MeasureLatencies() }
+
+// RunAllExperiments prints every figure and the latency table to w.
+func RunAllExperiments(w io.Writer, sc Scale) { harness.New(sc).All(w) }
+
+// ParseTrace loads a JSON-described workload (see internal/trace for the
+// format and cmd/tracesim for a CLI around it).
+func ParseTrace(r io.Reader) (*Workload, error) { return trace.Parse(r) }
+
+// StateCosts returns the §3.4 per-element state-overhead comparison of
+// the software and hardware schemes.
+func StateCosts(procs, iters int, readIn bool) []core.StateCost {
+	return core.StateCosts(procs, iters, readIn)
+}
+
+// ---------------------------------------------------------------------
+// Software LRPD test (§2): usable directly on access traces or real
+// loops.
+
+type (
+	// Op is one recorded access to an array under test.
+	Op = lrpd.Op
+	// Verdict classifies a loop for one array.
+	Verdict = lrpd.Verdict
+	// LRPDResult is the analysis-phase outcome.
+	LRPDResult = lrpd.Result
+	// LRPDOutcome reports a speculative doall execution.
+	LRPDOutcome = lrpd.Outcome
+	// Shadows are the marking-phase shadow arrays.
+	Shadows = lrpd.Shadows
+)
+
+// Verdict values.
+const (
+	NotParallel   = lrpd.NotParallel
+	DoallNoPriv   = lrpd.DoallNoPriv
+	DoallWithPriv = lrpd.DoallWithPriv
+)
+
+// LRPDTest runs the marking and analysis phases over a trace.
+func LRPDTest(elems int, ops []Op, privatized bool) LRPDResult {
+	return lrpd.Test(elems, ops, privatized)
+}
+
+// LRPDTestWithReadIn runs the §2.2.3 extended test.
+func LRPDTestWithReadIn(elems int, ops []Op) LRPDResult {
+	return lrpd.TestWithReadIn(elems, ops)
+}
+
+// View is a worker's privatized window onto the array during a
+// speculative doall.
+type View[T any] = lrpd.View[T]
+
+// SpeculativeDoAll executes body for iterations [0, n) in parallel with
+// the LRPD test; on failure the loop re-executes serially, so the final
+// contents of data always match a serial execution.
+func SpeculativeDoAll[T any](data []T, n, workers int, body func(iter int, v *View[T])) LRPDOutcome {
+	return lrpd.DoAll(data, n, workers, body)
+}

@@ -1,0 +1,138 @@
+package specrt_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"specrt"
+)
+
+// The public API end to end: define a workload, simulate all four
+// schemes, check the paper's ordering.
+func TestPublicAPIWorkload(t *testing.T) {
+	w := &specrt.Workload{
+		Name:       "api",
+		Executions: 1,
+		Iterations: func(int) int { return 128 },
+		Arrays: []specrt.ArraySpec{
+			{Name: "A", Elems: 128, ElemSize: 4, Test: specrt.NonPriv},
+		},
+		Body: func(exec, iter int, c *specrt.Ctx) {
+			c.Store(0, iter)
+			c.Compute(200)
+			c.Load(0, iter)
+		},
+	}
+	cfg := func(m specrt.Mode, p int) specrt.Config {
+		return specrt.Config{Procs: p, Mode: m, Contention: true}
+	}
+	serial := specrt.MustExecute(w, cfg(specrt.Serial, 1))
+	ideal := specrt.MustExecute(w, cfg(specrt.Ideal, 8))
+	sw := specrt.MustExecute(w, cfg(specrt.SW, 8))
+	hw := specrt.MustExecute(w, cfg(specrt.HW, 8))
+
+	if hw.Failures+sw.Failures != 0 {
+		t.Fatalf("parallel loop failed: hw=%d sw=%d", hw.Failures, sw.Failures)
+	}
+	spI, spH, spS := specrt.Speedup(serial, ideal), specrt.Speedup(serial, hw), specrt.Speedup(serial, sw)
+	if !(spI >= spH && spH >= spS && spH > 1) {
+		t.Fatalf("speedup ordering: ideal %.2f hw %.2f sw %.2f", spI, spH, spS)
+	}
+}
+
+func TestPublicAPIPaperLoops(t *testing.T) {
+	ws := specrt.PaperLoops()
+	if len(ws) != 4 {
+		t.Fatalf("PaperLoops = %d", len(ws))
+	}
+	if specrt.PaperLoopProcs("Ocean") != 8 || specrt.PaperLoopProcs("Track") != 16 {
+		t.Fatal("PaperLoopProcs wrong")
+	}
+	if len(specrt.ForcedFailLoops(100)) != 4 {
+		t.Fatal("ForcedFailLoops wrong")
+	}
+}
+
+func TestPublicAPILatencies(t *testing.T) {
+	rows := specrt.MeasureLatencies()
+	if len(rows) != 5 {
+		t.Fatalf("latency rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Measured != r.Paper {
+			t.Fatalf("%s: measured %d, paper %d", r.Name, r.Measured, r.Paper)
+		}
+	}
+}
+
+func TestPublicAPILRPD(t *testing.T) {
+	ops := []specrt.Op{
+		{Iter: 0, Elem: 1, Write: true},
+		{Iter: 1, Elem: 1},
+	}
+	if res := specrt.LRPDTest(4, ops, true); res.Verdict != specrt.NotParallel {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res := specrt.LRPDTestWithReadIn(4, []specrt.Op{{Iter: 0, Elem: 1}}); res.Verdict == specrt.NotParallel {
+		t.Fatalf("read-only verdict = %v", res.Verdict)
+	}
+}
+
+func TestPublicAPISpeculativeDoAll(t *testing.T) {
+	data := make([]int, 64)
+	out := specrt.SpeculativeDoAll(data, 64, 4, func(i int, v *specrt.View[int]) {
+		v.Write(i, i*3)
+	})
+	if out.Reexecuted {
+		t.Fatal("independent loop reexecuted")
+	}
+	for i, v := range data {
+		if v != i*3 {
+			t.Fatalf("data[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRunAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke is seconds-long")
+	}
+	var buf bytes.Buffer
+	specrt.RunAllExperiments(&buf, specrt.QuickScale)
+	out := buf.String()
+	for _, want := range []string{"Figure 11", "Figure 12", "Figure 13", "Figure 14"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in experiment output", want)
+		}
+	}
+}
+
+func TestHarnessAccessibleFromPublicAPI(t *testing.T) {
+	h := specrt.NewHarness(specrt.QuickScale)
+	res := h.Fig13()
+	if res.MeanHW >= res.MeanSW {
+		t.Fatalf("failure-cost ordering: HW %.2f >= SW %.2f", res.MeanHW, res.MeanSW)
+	}
+}
+
+func TestPublicAPITrace(t *testing.T) {
+	doc := `{"arrays": [{"name":"A","elems":8,"elemSize":4,"test":"nonpriv"}],
+	         "iterations": [[{"op":"store","array":0,"elem":0}],
+	                        [{"op":"store","array":0,"elem":1}]]}`
+	w, err := specrt.ParseTrace(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := specrt.MustExecute(w, specrt.Config{Procs: 2, Mode: specrt.HW, Contention: true})
+	if r.Failures != 0 {
+		t.Fatalf("trace workload failed: %v", r.FirstFailure)
+	}
+}
+
+func TestPublicAPIStateCosts(t *testing.T) {
+	rows := specrt.StateCosts(16, 1<<16, false)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
