@@ -12,6 +12,8 @@ package specrt_test
 // recorded in EXPERIMENTS.md.
 
 import (
+	"io"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -109,6 +111,24 @@ func BenchmarkFig14Full(b *testing.B) {
 		}
 	}
 }
+
+// ----- Full figure-set regeneration: sequential vs parallel -----
+
+// benchFigureSet regenerates the §5.1 table and Figures 11-14 (the full
+// multi-cell experiment set) with the given worker-pool size. Comparing
+// the two benchmarks shows the wall-clock win of the parallel executor;
+// on a >= 4-core host the parallel run is expected to be >= 2x faster.
+func benchFigureSet(b *testing.B, par int) {
+	b.Helper()
+	b.ReportMetric(float64(runtime.NumCPU()), "hostcores")
+	for i := 0; i < b.N; i++ {
+		h := harness.NewParallel(harness.Quick, par)
+		h.All(io.Discard)
+	}
+}
+
+func BenchmarkFigureSetSequential(b *testing.B) { benchFigureSet(b, 1) }
+func BenchmarkFigureSetParallel(b *testing.B)   { benchFigureSet(b, 0) }
 
 // ----- Ablations -----
 

@@ -1,0 +1,111 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON snapshot on stdout, so benchmark baselines can be committed and
+// diffed across PRs:
+//
+//	go test -bench . -benchmem -benchtime=1x | go run ./cmd/benchjson > BENCH.json
+//
+// Each benchmark line becomes an object with its name (GOMAXPROCS suffix
+// stripped), iterations, ns/op, and any further reported metrics
+// (B/op, allocs/op, custom ReportMetric units). Context lines (goos,
+// goarch, pkg, cpu) are captured into the snapshot header.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the full parsed run.
+type Snapshot struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	snap, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Snapshot, error) {
+	snap := &Snapshot{Context: map[string]string{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBench(line)
+			if err != nil {
+				return nil, err
+			}
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			snap.Context[k] = strings.TrimSpace(v)
+		}
+	}
+	return snap, sc.Err()
+}
+
+// parseBench parses one result line:
+//
+//	BenchmarkName-8   1234   987.6 ns/op   48 B/op   2 allocs/op
+func parseBench(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, fmt.Errorf("short benchmark line %q", line)
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count in %q: %v", line, err)
+	}
+	b := Benchmark{Name: name, Iters: iters, Metrics: map[string]float64{}}
+	// The rest alternates value, unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad metric value in %q: %v", line, err)
+		}
+		if fields[i+1] == "ns/op" {
+			b.NsPerOp = v
+		} else {
+			b.Metrics[fields[i+1]] = v
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, nil
+}

@@ -3,13 +3,20 @@
 //
 // Usage:
 //
-//	specrt [-scale quick|default|paper] [latencies|fig11|fig12|fig13|fig14|ablations|all]
+//	specrt [-scale quick|default|paper] [-parallel N] [latencies|fig11|fig12|fig13|fig14|ablations|all]
+//
+// Experiment cells are independent deterministic simulations; -parallel
+// (default: all host cores) bounds how many run at once. Output is
+// byte-identical at every parallelism level. -cpuprofile/-memprofile
+// write pprof profiles for hot-path work.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"specrt/internal/core"
 	"specrt/internal/harness"
@@ -18,8 +25,11 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "default", "experiment scale: quick, default or paper")
 	formatFlag := flag.String("format", "table", "output format: table or csv (csv for latencies/fig11..fig14 only)")
+	parallelFlag := flag.Int("parallel", 0, "worker-pool size for experiment cells (0 = all host cores, 1 = sequential)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-scale quick|default|paper] [latencies|fig11|fig12|fig13|fig14|stats|ablations|all]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-scale quick|default|paper] [-parallel N] [latencies|fig11|fig12|fig13|fig14|stats|ablations|all]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -29,7 +39,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	h := harness.New(sc)
+	h := harness.NewParallel(sc, *parallelFlag)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	cmd := "all"
 	if flag.NArg() > 0 {

@@ -132,6 +132,11 @@ type Proc struct {
 	src     Source
 	blocked bool
 	sys     *System
+	// stepFn is the processor's step closure, bound once at system
+	// construction: scheduling it allocates nothing, where a fresh
+	// closure per instruction event would dominate the simulator's
+	// allocation profile.
+	stepFn func()
 }
 
 // System drives a set of processors over a machine. If Ctl is non-nil,
@@ -176,7 +181,9 @@ func NewSystem(m *machine.Machine, ctl *core.Controller) *System {
 		barriers: make(map[int]*barrier),
 	}
 	for i := 0; i < m.Cfg.Procs; i++ {
-		s.Procs = append(s.Procs, &Proc{ID: i, sys: s})
+		p := &Proc{ID: i, sys: s}
+		p.stepFn = func() { s.step(p) }
+		s.Procs = append(s.Procs, p)
 	}
 	// Asynchronous failures (detected at a directory by a deferred
 	// message) abort the whole speculative execution.
@@ -243,7 +250,7 @@ func (s *System) Run(procIDs []int, sources []Source) sim.Time {
 		p.src = sources[i]
 		p.Done = false
 		p.blocked = false
-		s.M.Eng.Schedule(0, func() { s.step(p) })
+		s.M.Eng.Schedule(0, p.stepFn)
 	}
 	s.M.Eng.Run()
 	if !s.aborted {
@@ -283,12 +290,11 @@ func (s *System) step(p *Proc) {
 	}
 	p.Instrs[in.Kind]++
 	eng := s.M.Eng
-	next := func(after sim.Time) { eng.Schedule(after, func() { s.step(p) }) }
 
 	switch in.Kind {
 	case KCompute:
 		p.B.Busy += in.Cycles
-		next(in.Cycles)
+		eng.Schedule(in.Cycles, p.stepFn)
 
 	case KLoad:
 		lat, err := s.read(p.ID, in.Addr)
@@ -303,7 +309,7 @@ func (s *System) step(p *Proc) {
 			s.finish(p)
 			return
 		}
-		next(lat)
+		eng.Schedule(lat, p.stepFn)
 
 	case KStore:
 		lat, err := s.write(p.ID, in.Addr)
@@ -318,7 +324,7 @@ func (s *System) step(p *Proc) {
 			s.finish(p)
 			return
 		}
-		next(lat)
+		eng.Schedule(lat, p.stepFn)
 
 	case KBeginIter:
 		var cost sim.Time
@@ -326,7 +332,7 @@ func (s *System) step(p *Proc) {
 			cost = s.Ctl.BeginIteration(p.ID, in.ID)
 		}
 		p.B.Busy += cost
-		next(cost)
+		eng.Schedule(cost, p.stepFn)
 
 	case KLockAcq:
 		s.lockAcquire(p, in.ID)
@@ -377,7 +383,7 @@ func (s *System) lockAcquire(p *Proc, id int) {
 	if !l.held {
 		l.held = true
 		p.B.Sync += s.Costs.LockAcquire
-		s.M.Eng.Schedule(s.Costs.LockAcquire, func() { s.step(p) })
+		s.M.Eng.Schedule(s.Costs.LockAcquire, p.stepFn)
 		return
 	}
 	p.blocked = true
@@ -391,7 +397,7 @@ func (s *System) lockRelease(p *Proc, id int) {
 		panic(fmt.Sprintf("cpu: release of unheld lock %d", id))
 	}
 	// The releaser continues immediately.
-	s.M.Eng.Schedule(0, func() { s.step(p) })
+	s.M.Eng.Schedule(0, p.stepFn)
 	if len(l.waiters) == 0 {
 		l.held = false
 		return
@@ -404,7 +410,7 @@ func (s *System) lockRelease(p *Proc, id int) {
 	w.blocked = false
 	release := s.M.Eng.Now()
 	w.B.Sync += release - at + handoff
-	s.M.Eng.Schedule(handoff, func() { s.step(w) })
+	s.M.Eng.Schedule(handoff, w.stepFn)
 }
 
 // SetBarrier declares barrier id to expect n participants. Barriers must
@@ -430,8 +436,7 @@ func (s *System) barrierArrive(p *Proc, id int) {
 	for i, q := range b.procs {
 		q.blocked = false
 		q.B.Sync += release - b.arrived[i] + cost
-		q := q
-		s.M.Eng.Schedule(cost, func() { s.step(q) })
+		s.M.Eng.Schedule(cost, q.stepFn)
 	}
 	b.procs = b.procs[:0]
 	b.arrived = b.arrived[:0]

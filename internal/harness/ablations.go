@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -220,16 +221,26 @@ func (h *Harness) PrintAblationReadIn(w io.Writer) []RicoRow {
 	return rows
 }
 
-// Ablations runs all of them.
+// Ablations runs all of them. Sections are independent experiment
+// suites, so each renders into its own buffer on the worker pool; the
+// buffers are then emitted in the fixed presentation order, keeping the
+// combined output byte-identical to a sequential run.
 func (h *Harness) Ablations(w io.Writer) {
-	h.PrintAblationTrackChunks(w)
-	h.PrintAblationContention(w)
-	h.PrintAblationBitGranularity(w)
-	h.PrintAblationReadIn(w)
-	h.PrintAblationEpochs(w)
-	h.PrintAblationSparseBackup(w)
-	h.PrintAblationPrivGranularity(w)
-	h.PrintAblationAdaptive(w)
-	h.PrintAblationWriteStall(w)
-	h.PrintAblationDirectoryOccupancy(w)
+	sections := []func(io.Writer){
+		func(w io.Writer) { h.PrintAblationTrackChunks(w) },
+		func(w io.Writer) { h.PrintAblationContention(w) },
+		func(w io.Writer) { h.PrintAblationBitGranularity(w) },
+		func(w io.Writer) { h.PrintAblationReadIn(w) },
+		func(w io.Writer) { h.PrintAblationEpochs(w) },
+		func(w io.Writer) { h.PrintAblationSparseBackup(w) },
+		func(w io.Writer) { h.PrintAblationPrivGranularity(w) },
+		func(w io.Writer) { h.PrintAblationAdaptive(w) },
+		func(w io.Writer) { h.PrintAblationWriteStall(w) },
+		func(w io.Writer) { h.PrintAblationDirectoryOccupancy(w) },
+	}
+	bufs := make([]bytes.Buffer, len(sections))
+	h.parallelMap(len(sections), func(i int) { sections[i](&bufs[i]) })
+	for i := range bufs {
+		w.Write(bufs[i].Bytes())
+	}
 }

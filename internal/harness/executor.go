@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"specrt/internal/loops"
+	"specrt/internal/run"
+)
+
+// The experiment grid of §6 is embarrassingly parallel: every cell
+// (loop, scheme, processor count) is an independent deterministic
+// simulation that owns its engine and machine. The harness therefore
+// fans cells out over a bounded worker pool sized to the host
+// (default runtime.NumCPU()), while per-cell singleflight memoization
+// guarantees each cell is simulated exactly once no matter how many
+// figures or goroutines request it. Results are assembled in
+// presentation order afterwards, so parallel and sequential runs
+// produce byte-identical output.
+
+// cellKey identifies one memoized simulation cell.
+type cellKey struct {
+	name  string
+	mode  run.Mode
+	procs int
+}
+
+// cell is a singleflight slot: the first Result call for a key runs the
+// simulation inside once; every other caller blocks until it completes
+// and then shares the same *run.Result.
+type cell struct {
+	once sync.Once
+	res  *run.Result
+}
+
+// parallelism resolves a worker-pool size: n <= 0 means all host cores.
+func parallelism(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// warm simulates the given cells concurrently on the worker pool and
+// blocks until all are memoized. Duplicate keys and already-memoized
+// cells cost nothing beyond a map lookup. With a single worker the
+// cells run sequentially in the given order, matching the historical
+// sequential harness exactly.
+func (h *Harness) warm(keys []cellKey) {
+	if h.par <= 1 || len(keys) < 2 {
+		for _, k := range keys {
+			h.Result(k.name, k.mode, k.procs)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(keys))
+	for _, k := range keys {
+		go func(k cellKey) {
+			defer wg.Done()
+			h.Result(k.name, k.mode, k.procs)
+		}(k)
+	}
+	wg.Wait()
+}
+
+// parallelMap runs f(0..n-1) on the worker pool and waits for all calls.
+// Callers preallocate result slots indexed by i, so output order never
+// depends on scheduling. f must not call parallelMap (the pool is a
+// single semaphore).
+func (h *Harness) parallelMap(n int, f func(i int)) {
+	if h.par <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			h.sem <- struct{}{}
+			defer func() { <-h.sem }()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// speedupCells lists the cells Figures 11 and 12 need: every loop under
+// every scheme at its paper processor count, plus the Serial baseline.
+func speedupCells() []cellKey {
+	var keys []cellKey
+	for _, name := range LoopNames {
+		procs := loops.Procs(name)
+		keys = append(keys,
+			cellKey{name, run.Serial, 1},
+			cellKey{name, run.Ideal, procs},
+			cellKey{name, run.SW, procs},
+			cellKey{name, run.HW, procs})
+	}
+	return keys
+}
+
+// scalabilityCells lists the Figure 14 grid: the scaling loops under
+// every scheme at 4, 8 and 16 processors.
+func scalabilityCells() []cellKey {
+	var keys []cellKey
+	for _, name := range []string{"P3m", "Adm", "Track"} {
+		keys = append(keys, cellKey{name, run.Serial, 1})
+		for _, p := range []int{4, 8, 16} {
+			keys = append(keys,
+				cellKey{name, run.Ideal, p},
+				cellKey{name, run.SW, p},
+				cellKey{name, run.HW, p})
+		}
+	}
+	return keys
+}

@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"specrt/internal/run"
+)
+
+// Concurrent Result calls for the same cell must dedupe to exactly one
+// execution (singleflight) and hand every caller the same result. Run
+// under -race this also proves the memo is data-race free.
+func TestParallelResultDedup(t *testing.T) {
+	h := NewParallel(Quick, 4)
+	const callers = 16
+	results := make([]*run.Result, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i] = h.Result("Adm", run.HW, 4)
+		}(i)
+	}
+	wg.Wait()
+	if n := h.CellsSimulated(); n != 1 {
+		t.Fatalf("CellsSimulated = %d, want 1 (concurrent callers must dedupe)", n)
+	}
+	for i, r := range results {
+		if r != results[0] {
+			t.Fatalf("caller %d got a different result pointer", i)
+		}
+	}
+	// A second batch over several distinct cells simulates each exactly once.
+	cells := []cellKey{
+		{"Adm", run.HW, 4}, // already memoized
+		{"Adm", run.SW, 4},
+		{"Adm", run.Serial, 1},
+		{"Track", run.HW, 4},
+	}
+	wg.Add(2 * len(cells))
+	for _, k := range cells {
+		for dup := 0; dup < 2; dup++ {
+			go func(k cellKey) {
+				defer wg.Done()
+				h.Result(k.name, k.mode, k.procs)
+			}(k)
+		}
+	}
+	wg.Wait()
+	if n := h.CellsSimulated(); n != int64(len(cells)) {
+		t.Fatalf("CellsSimulated = %d, want %d", n, len(cells))
+	}
+}
+
+// The parallel harness must produce byte-identical figure output to a
+// strictly sequential run: every cell owns its engine and machine, and
+// assembly happens in presentation order.
+func TestParallelMatchesSequential(t *testing.T) {
+	var seq, par bytes.Buffer
+	NewParallel(Quick, 1).All(&seq)
+	NewParallel(Quick, 8).All(&par)
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("parallel All output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seq.String(), par.String())
+	}
+
+	// The CSV emitters must agree as well (plot inputs are rows, not
+	// rendered tables).
+	var seqCSV, parCSV bytes.Buffer
+	hs, hp := NewParallel(Quick, 1), NewParallel(Quick, 8)
+	for _, f := range []func(h *Harness, w *bytes.Buffer){
+		func(h *Harness, w *bytes.Buffer) { h.Fig11().WriteCSV(w) },
+		func(h *Harness, w *bytes.Buffer) { h.Fig12().WriteCSV(w) },
+		func(h *Harness, w *bytes.Buffer) { h.Fig13().WriteCSV(w) },
+		func(h *Harness, w *bytes.Buffer) { h.Fig14().WriteCSV(w) },
+	} {
+		f(hs, &seqCSV)
+		f(hp, &parCSV)
+	}
+	if !bytes.Equal(seqCSV.Bytes(), parCSV.Bytes()) {
+		t.Fatal("parallel CSV rows differ from sequential")
+	}
+}
+
+// Ablation sections render concurrently but must emit in the fixed
+// presentation order.
+func TestParallelAblationsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders every ablation twice")
+	}
+	var seq, par bytes.Buffer
+	NewParallel(Quick, 1).Ablations(&seq)
+	NewParallel(Quick, 8).Ablations(&par)
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatal("parallel Ablations output differs from sequential")
+	}
+}
+
+// parallelMap must preserve index addressing regardless of pool size.
+func TestParallelMapOrder(t *testing.T) {
+	for _, par := range []int{1, 3, 8} {
+		h := NewParallel(Quick, par)
+		out := make([]int, 37)
+		h.parallelMap(len(out), func(i int) { out[i] = i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("par=%d: out[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}

@@ -9,6 +9,8 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"text/tabwriter"
 
 	"specrt/internal/loops"
@@ -39,16 +41,45 @@ var Default = Scale{Name: "default", OceanExecs: 16, AdmExecs: 16, TrackExecs: 5
 var Paper = Scale{Name: "paper", OceanExecs: 48, AdmExecs: 48, TrackExecs: 56, P3mIters: 15000}
 
 // Harness memoizes executions across experiments (Figures 11, 12 and 14
-// share runs).
+// share runs) and distributes independent cells over a bounded worker
+// pool. It is safe for concurrent use.
 type Harness struct {
-	Scale   Scale
-	results map[string]*run.Result
+	Scale Scale
+
+	par int           // worker-pool size
+	sem chan struct{} // bounds concurrently running simulations
+
+	mu    sync.Mutex
+	cells map[cellKey]*cell
+
+	simulated atomic.Int64 // cells actually executed (not memo hits)
 }
 
-// New creates a harness at the given scale.
-func New(sc Scale) *Harness {
-	return &Harness{Scale: sc, results: make(map[string]*run.Result)}
+// New creates a harness at the given scale that uses every host core.
+func New(sc Scale) *Harness { return NewParallel(sc, 0) }
+
+// NewParallel creates a harness with an explicit worker-pool size;
+// par <= 0 selects runtime.NumCPU(). With par == 1 the harness runs every
+// experiment strictly sequentially; any larger pool produces byte-identical
+// results, because each cell is an independent deterministic simulation and
+// output assembly stays in presentation order.
+func NewParallel(sc Scale, par int) *Harness {
+	par = parallelism(par)
+	return &Harness{
+		Scale: sc,
+		par:   par,
+		sem:   make(chan struct{}, par),
+		cells: make(map[cellKey]*cell),
+	}
 }
+
+// Parallelism reports the worker-pool size.
+func (h *Harness) Parallelism() int { return h.par }
+
+// CellsSimulated reports how many distinct cells have actually been
+// simulated (memoized hits excluded) — used to verify singleflight
+// deduplication under concurrency.
+func (h *Harness) CellsSimulated() int64 { return h.simulated.Load() }
 
 // workload instantiates a paper loop at the harness scale.
 func (h *Harness) workload(name string) (*run.Workload, int) {
@@ -69,21 +100,32 @@ func (h *Harness) workload(name string) (*run.Workload, int) {
 var LoopNames = []string{"Ocean", "P3m", "Adm", "Track"}
 
 // Result returns the (memoized) simulation of a loop under a mode and
-// processor count.
+// processor count. Concurrent calls for the same cell dedupe to a single
+// execution (singleflight); the losers block until the winner finishes
+// and share its result. The worker-pool semaphore bounds how many cells
+// simulate at once machine-wide.
 func (h *Harness) Result(name string, mode run.Mode, procs int) *run.Result {
-	key := fmt.Sprintf("%s/%v/%d", name, mode, procs)
-	if r, ok := h.results[key]; ok {
-		return r
+	k := cellKey{name: name, mode: mode, procs: procs}
+	h.mu.Lock()
+	c := h.cells[k]
+	if c == nil {
+		c = &cell{}
+		h.cells[k] = c
 	}
-	w, maxExec := h.workload(name)
-	r := run.MustExecute(w, run.Config{
-		Procs:         procs,
-		Mode:          mode,
-		Contention:    true,
-		MaxExecutions: maxExec,
+	h.mu.Unlock()
+	c.once.Do(func() {
+		h.sem <- struct{}{}
+		defer func() { <-h.sem }()
+		w, maxExec := h.workload(name)
+		c.res = run.MustExecute(w, run.Config{
+			Procs:         procs,
+			Mode:          mode,
+			Contention:    true,
+			MaxExecutions: maxExec,
+		})
+		h.simulated.Add(1)
 	})
-	h.results[key] = r
-	return r
+	return c.res
 }
 
 // Serial returns the uniprocessor baseline for a loop.
@@ -114,8 +156,11 @@ type Fig11Result struct {
 	MeanIdeal float64
 }
 
-// Fig11 reproduces Figure 11.
+// Fig11 reproduces Figure 11. The sixteen cells simulate concurrently on
+// the worker pool; assembly below hits only memoized results, in
+// presentation order.
 func (h *Harness) Fig11() Fig11Result {
+	h.warm(speedupCells())
 	var res Fig11Result
 	var hws, sws, ids []float64
 	for _, name := range LoopNames {
@@ -178,8 +223,10 @@ type Fig12Result struct {
 	Bars []Fig12Bar
 }
 
-// Fig12 reproduces Figure 12.
+// Fig12 reproduces Figure 12. It shares Figure 11's cell grid, so a
+// combined run simulates each cell once.
 func (h *Harness) Fig12() Fig12Result {
+	h.warm(speedupCells())
 	var res Fig12Result
 	for _, name := range LoopNames {
 		procs := loops.Procs(name)
@@ -237,18 +284,33 @@ type Fig13Result struct {
 }
 
 // Fig13 reproduces Figure 13 by forcing the failure of one instance of
-// each loop (§6.2).
+// each loop (§6.2). The forced-failure runs are not shared with other
+// figures, so they are not memoized; the 4 loops x 3 schemes grid fans
+// out directly over the worker pool and rows assemble in paper order.
 func (h *Harness) Fig13() Fig13Result {
-	var res Fig13Result
-	var swn, hwn []float64
-	for _, w := range loops.ForcedFails(h.Scale.P3mIters) {
+	fails := loops.ForcedFails(h.Scale.P3mIters)
+	results := make([][3]*run.Result, len(fails)) // [loop][serial, sw, hw]
+	h.parallelMap(len(fails)*3, func(j int) {
+		w, slot := fails[j/3], j%3
 		procs := 16
 		if w.Name == "Ocean-fail" {
 			procs = 8
 		}
-		serial := run.MustExecute(w, run.Config{Procs: 1, Mode: run.Serial, Contention: true})
-		sw := run.MustExecute(w, run.Config{Procs: procs, Mode: run.SW, Contention: true})
-		hw := run.MustExecute(w, run.Config{Procs: procs, Mode: run.HW, Contention: true})
+		cfg := run.Config{Procs: procs, Contention: true}
+		switch slot {
+		case 0:
+			cfg.Procs, cfg.Mode = 1, run.Serial
+		case 1:
+			cfg.Mode = run.SW
+		case 2:
+			cfg.Mode = run.HW
+		}
+		results[j/3][slot] = run.MustExecute(w, cfg)
+	})
+	var res Fig13Result
+	var swn, hwn []float64
+	for i, w := range fails {
+		serial, sw, hw := results[i][0], results[i][1], results[i][2]
 		row := Fig13Row{
 			Loop:       w.Name,
 			SerialNorm: 1,
@@ -299,8 +361,11 @@ type Fig14Result struct {
 	Series []Fig14Series
 }
 
-// Fig14 reproduces Figure 14.
+// Fig14 reproduces Figure 14. Its 30-cell grid is the largest of the
+// figure set; warming it concurrently dominates the parallel speedup of
+// a full regeneration.
 func (h *Harness) Fig14() Fig14Result {
+	h.warm(scalabilityCells())
 	procCounts := []int{4, 8, 16}
 	var res Fig14Result
 	for _, name := range []string{"P3m", "Adm", "Track"} {
@@ -332,8 +397,11 @@ func (h *Harness) PrintFig14(w io.Writer) Fig14Result {
 	return res
 }
 
-// All runs every experiment in paper order.
+// All runs every experiment in paper order. The union of the figure
+// grids warms first so the worker pool sees every independent cell at
+// once; the printers then assemble from the memo.
 func (h *Harness) All(w io.Writer) {
+	h.warm(append(speedupCells(), scalabilityCells()...))
 	PrintLatencies(w)
 	h.PrintFig11(w)
 	h.PrintFig12(w)

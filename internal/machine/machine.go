@@ -159,18 +159,48 @@ type Machine struct {
 
 	lineBytes mem.Addr
 
-	// msgq holds in-flight deferred messages per (source, home) pair.
-	// The paper's algorithms assume in-order delivery of messages; a
-	// processor's synchronous transaction to a home therefore drains its
-	// own earlier messages to that home first (see SendToHome).
-	msgq map[[2]int][]*pendingMsg
+	// msgq holds in-flight deferred messages per (source, home) pair,
+	// indexed source*Procs+home. The paper's algorithms assume in-order
+	// delivery of messages; a processor's synchronous transaction to a
+	// home therefore drains its own earlier messages to that home first
+	// (see SendToHome).
+	msgq [][]*pendingMsg
+	// msgPool recycles message slots; gen guards stale arrival events
+	// against recycled slots.
+	msgPool []*pendingMsg
 }
 
-// pendingMsg is one in-flight deferred protocol message.
+// pendingMsg is one in-flight deferred protocol message. gen increments on
+// every recycle so that an arrival event scheduled for a previous use of
+// the slot recognizes itself as stale.
 type pendingMsg struct {
 	fn   func() error
 	done bool
+	gen  uint32
 }
+
+// getMsg takes a message slot from the pool (or allocates one).
+func (m *Machine) getMsg(fn func() error) *pendingMsg {
+	if n := len(m.msgPool); n > 0 {
+		msg := m.msgPool[n-1]
+		m.msgPool = m.msgPool[:n-1]
+		msg.fn = fn
+		msg.done = false
+		return msg
+	}
+	return &pendingMsg{fn: fn}
+}
+
+// putMsg retires a delivered (or discarded) message slot into the pool.
+func (m *Machine) putMsg(msg *pendingMsg) {
+	msg.fn = nil
+	msg.done = true
+	msg.gen++
+	m.msgPool = append(m.msgPool, msg)
+}
+
+// qIndex maps a (source, home) pair to its message-queue slot.
+func (m *Machine) qIndex(from, home int) int { return from*m.Cfg.Procs + home }
 
 // New builds a machine; the configuration must be valid.
 func New(cfg Config) (*Machine, error) {
@@ -185,7 +215,7 @@ func New(cfg Config) (*Machine, error) {
 		Dirs:      make([]*directory.Directory, cfg.Procs),
 		Home:      make([]sim.Server, cfg.Procs),
 		lineBytes: mem.Addr(cfg.L1.LineBytes),
-		msgq:      make(map[[2]int][]*pendingMsg),
+		msgq:      make([][]*pendingMsg, cfg.Procs*cfg.Procs),
 	}
 	for i := 0; i < cfg.Procs; i++ {
 		m.Procs[i] = &Proc{ID: i, L1: cache.New(cfg.L1), L2: cache.New(cfg.L2)}
@@ -264,11 +294,11 @@ func (m *Machine) FlushCaches() {
 // speculative execution is aborted or between loop executions; any engine
 // events still scheduled for these messages become no-ops.
 func (m *Machine) ResetMessages() {
-	for k, q := range m.msgq {
+	for i, q := range m.msgq {
 		for _, msg := range q {
-			msg.done = true
+			m.putMsg(msg)
 		}
-		delete(m.msgq, k)
+		m.msgq[i] = q[:0]
 	}
 }
 

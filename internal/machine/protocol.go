@@ -327,64 +327,80 @@ func (m *Machine) WriteProcLatency(lat sim.Time) sim.Time {
 func (m *Machine) SendToHome(from int, a mem.Addr, fn func() error) {
 	m.Stats.Messages++
 	h := m.HomeOf(a)
-	key := [2]int{from, h}
-	msg := &pendingMsg{fn: fn}
-	m.msgq[key] = append(m.msgq[key], msg)
+	idx := m.qIndex(from, h)
+	msg := m.getMsg(fn)
+	gen := msg.gen
+	m.msgq[idx] = append(m.msgq[idx], msg)
 	m.Eng.Schedule(m.Cfg.Lat.MsgHop, func() {
-		if msg.done {
-			return // delivered early by a drain
+		if msg.gen != gen || msg.done {
+			return // delivered early by a drain (slot may be recycled)
 		}
 		wait := m.homeVisit(h, m.Eng.Now(), m.Cfg.Lat.HomeOccMsg)
-		run := func() { m.deliverThrough(key, msg) }
 		if wait > 0 {
-			m.Eng.Schedule(wait, run)
+			m.Eng.Schedule(wait, func() {
+				if msg.gen == gen && !msg.done {
+					m.deliverThrough(idx, msg)
+				}
+			})
 		} else {
-			run()
+			m.deliverThrough(idx, msg)
 		}
 	})
 }
 
 // deliverThrough delivers queued (source, home) messages in FIFO order up
-// to and including msg.
-func (m *Machine) deliverThrough(key [2]int, msg *pendingMsg) {
-	q := m.msgq[key]
-	for len(q) > 0 {
-		head := q[0]
-		q = q[1:]
-		if !head.done {
-			head.done = true
-			if err := head.fn(); err != nil && m.OnFail != nil {
-				m.OnFail(err)
-			}
+// to and including msg. The queue is re-read every iteration: a handler
+// may enqueue new messages for the same pair while we deliver, and those
+// must survive behind the current tail.
+func (m *Machine) deliverThrough(idx int, msg *pendingMsg) {
+	for len(m.msgq[idx]) > 0 {
+		head := m.msgq[idx][0]
+		m.msgq[idx] = m.msgq[idx][1:]
+		// Queued entries are always undelivered: every delivery path
+		// removes the message from its queue before retiring it.
+		last := head == msg
+		head.done = true
+		fn := head.fn
+		m.putMsg(head)
+		if err := fn(); err != nil && m.OnFail != nil {
+			m.OnFail(err)
 		}
-		if head == msg {
+		if last {
 			break
 		}
 	}
-	m.msgq[key] = q
 }
 
 // DrainMessages delivers all in-flight messages from processor p to home
 // h immediately, preserving FIFO order. Synchronous transactions call this
-// so they cannot overtake the processor's own earlier messages.
+// so they cannot overtake the processor's own earlier messages. The
+// scheduled arrival events become stale no-ops (generation guard).
 func (m *Machine) DrainMessages(p, h int) {
-	key := [2]int{p, h}
-	q := m.msgq[key]
+	idx := m.qIndex(p, h)
+	q := m.msgq[idx]
 	if len(q) == 0 {
 		return
 	}
-	m.msgq[key] = nil
+	// Detach the batch before delivering: a handler may enqueue new
+	// messages for this pair, which must not alias the batch being
+	// iterated. The backing array is restored for reuse afterwards if
+	// nothing new arrived.
+	m.msgq[idx] = nil
 	for _, msg := range q {
-		if msg.done {
-			continue
-		}
+		// Queued entries are always undelivered (delivery always pops
+		// first), so each is retired exactly once here.
 		msg.done = true
+		fn := msg.fn
+		m.putMsg(msg)
 		if m.Cfg.Contention {
 			m.Home[h].Acquire(m.Eng.Now(), m.Cfg.Lat.HomeOccMsg)
 		}
-		if err := msg.fn(); err != nil && m.OnFail != nil {
+		if err := fn(); err != nil && m.OnFail != nil {
 			m.OnFail(err)
 		}
+	}
+	if len(m.msgq[idx]) == 0 {
+		m.msgq[idx] = q[:0]
 	}
 }
 

@@ -217,6 +217,12 @@ func Speedup(serial, parallel *Result) float64 {
 }
 
 // Execute simulates workload w under cfg.
+//
+// Each call builds a private engine, machine and controller, so Execute
+// is safe to call concurrently — including for the same *Workload,
+// provided the workload's Iterations/Arrays/Body are pure (true for all
+// of internal/loops). Results are deterministic functions of (w, cfg):
+// the parallel harness executor depends on both properties.
 func Execute(w *Workload, cfg Config) (*Result, error) {
 	if err := validate(w, cfg); err != nil {
 		return nil, err

@@ -4,12 +4,16 @@
 // The engine is single-threaded: events are executed strictly in (time,
 // sequence) order, so two runs over the same inputs produce identical
 // results. Components schedule closures; there are no goroutines involved.
+//
+// The event queue is a typed binary heap over a pool of event slots. Slots
+// are recycled through a free list, so steady-state scheduling performs no
+// heap allocations and no interface boxing: the queue is the simulator's
+// hottest path (one event per simulated instruction), and the old
+// container/heap implementation paid two allocations per event for boxing
+// events into interface{} values.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulated clock value in processor cycles.
 type Time = int64
@@ -22,31 +26,19 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	nRun   uint64
+	now  Time
+	seq  uint64
+	nRun uint64
+
+	// pool stores event slots; heap holds pool indices ordered by
+	// (at, seq); free lists recycled slots. Storing 4-byte indices in the
+	// heap keeps sift operations cheap and lets slots be reused without
+	// moving closures around.
+	pool []event
+	heap []int32
+	free []int32
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -59,7 +51,11 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) EventsRun() uint64 { return e.nRun }
 
 // Pending reports how many events are waiting to run.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// FreeSlots reports how many recycled event slots are available for reuse
+// (for allocation tests).
+func (e *Engine) FreeSlots() int { return len(e.free) }
 
 // Schedule runs fn after delay cycles. A negative delay panics: scheduling
 // into the past would break causality.
@@ -76,18 +72,83 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.pool = append(e.pool, event{})
+		slot = int32(len(e.pool) - 1)
+	}
+	e.pool[slot] = event{at: t, seq: e.seq, fn: fn}
+	e.heap = append(e.heap, slot)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// less orders heap positions i and j by (at, seq).
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.pool[e.heap[i]], &e.pool[e.heap[j]]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && e.less(r, l) {
+			min = r
+		}
+		if !e.less(min, i) {
+			break
+		}
+		e.heap[i], e.heap[min] = e.heap[min], e.heap[i]
+		i = min
+	}
+}
+
+// release returns slot to the free list, dropping its closure so the
+// engine does not retain it.
+func (e *Engine) release(slot int32) {
+	e.pool[slot].fn = nil
+	e.free = append(e.free, slot)
 }
 
 // Step executes the next event, if any, and reports whether one ran.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	slot := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	ev := &e.pool[slot]
 	e.now = ev.at
+	fn := ev.fn
+	e.release(slot)
 	e.nRun++
-	ev.fn()
+	fn()
 	return true
 }
 
@@ -99,7 +160,7 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with time <= t, then advances the clock to t.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 && e.events[0].at <= t {
+	for len(e.heap) > 0 && e.pool[e.heap[0]].at <= t {
 		e.Step()
 	}
 	if e.now < t {
@@ -110,5 +171,8 @@ func (e *Engine) RunUntil(t Time) {
 // Drain removes all pending events without running them. Used when a
 // speculative execution is aborted.
 func (e *Engine) Drain() {
-	e.events = e.events[:0]
+	for _, slot := range e.heap {
+		e.release(slot)
+	}
+	e.heap = e.heap[:0]
 }

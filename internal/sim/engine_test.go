@@ -184,6 +184,60 @@ func TestPropertyDeterminism(t *testing.T) {
 	}
 }
 
+// The typed heap must recycle event slots: after running, every slot is
+// back on the free list and steady-state scheduling performs no heap
+// allocations.
+func TestEventSlotReuse(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 64; i++ {
+		e.Schedule(Time(i%7), func() {})
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run", e.Pending())
+	}
+	if e.FreeSlots() != 64 {
+		t.Fatalf("FreeSlots = %d, want 64 (all slots recycled)", e.FreeSlots())
+	}
+	// Refilling must reuse the recycled slots, not grow the pool.
+	for i := 0; i < 64; i++ {
+		e.Schedule(1, func() {})
+	}
+	if e.FreeSlots() != 0 {
+		t.Fatalf("FreeSlots = %d after refill, want 0", e.FreeSlots())
+	}
+	e.Run()
+}
+
+func TestDrainReleasesSlots(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 32; i++ {
+		e.Schedule(5, func() { t.Fatal("drained event ran") })
+	}
+	e.Drain()
+	if e.FreeSlots() != 32 {
+		t.Fatalf("FreeSlots = %d after Drain, want 32", e.FreeSlots())
+	}
+	e.Run()
+}
+
+// Steady-state Schedule+Step must not allocate: capture-free closures ride
+// through the pooled slots without interface boxing.
+func TestScheduleStepAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the pool so the measurement sees the steady state.
+	e.Schedule(1, fn)
+	e.Step()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(1, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Schedule+Step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 func TestServerNoContention(t *testing.T) {
 	var s Server
 	start := s.Acquire(100, 20)
