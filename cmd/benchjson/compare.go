@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// compareResult is the outcome of one benchmark-vs-baseline comparison.
+type compareResult struct {
+	Name     string
+	Metric   string
+	Base     float64
+	Current  float64
+	Ratio    float64 // Current / Base
+	Regress  bool
+	BaseOnly bool // present in baseline but missing from the run
+}
+
+// parseTolerance accepts "25%", "0.25" or "25" (percent when > 1).
+func parseTolerance(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	pct := strings.HasSuffix(s, "%")
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad tolerance %q (want e.g. 25%%)", s)
+	}
+	if pct || v > 1 {
+		v /= 100
+	}
+	return v, nil
+}
+
+// compare checks the current snapshot against a committed baseline.
+// allocs/op is compared by default — it is deterministic across hosts —
+// while ns/op comparison (noisy on shared CI runners) is opt-in via -ns.
+// A benchmark regresses when current > base * (1 + tolerance); missing
+// benchmarks regress too (a deleted benchmark cannot vouch for its
+// performance). New benchmarks absent from the baseline are reported but
+// do not fail.
+func compare(snap *Snapshot, baselinePath string, tolerance float64, compareNs bool) (results []compareResult, regressed bool, err error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, false, err
+	}
+	var base Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, false, fmt.Errorf("bad baseline %s: %v", baselinePath, err)
+	}
+	cur := make(map[string]Benchmark, len(snap.Benchmarks))
+	for _, b := range snap.Benchmarks {
+		cur[b.Name] = b
+	}
+
+	check := func(name, metric string, baseV, curV float64, missing bool) {
+		r := compareResult{Name: name, Metric: metric, Base: baseV, Current: curV, BaseOnly: missing}
+		if missing {
+			r.Regress = true
+		} else {
+			if baseV > 0 {
+				r.Ratio = curV / baseV
+			}
+			r.Regress = curV > baseV*(1+tolerance)
+		}
+		if r.Regress {
+			regressed = true
+		}
+		results = append(results, r)
+	}
+
+	for _, bb := range base.Benchmarks {
+		cb, ok := cur[bb.Name]
+		if !ok {
+			check(bb.Name, "allocs/op", bb.Metrics["allocs/op"], 0, true)
+			continue
+		}
+		if baseAllocs, has := bb.Metrics["allocs/op"]; has {
+			check(bb.Name, "allocs/op", baseAllocs, cb.Metrics["allocs/op"], false)
+		}
+		if compareNs && bb.NsPerOp > 0 {
+			check(bb.Name, "ns/op", bb.NsPerOp, cb.NsPerOp, false)
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Name != results[j].Name {
+			return results[i].Name < results[j].Name
+		}
+		return results[i].Metric < results[j].Metric
+	})
+	return results, regressed, nil
+}
+
+// reportCompare prints the comparison and returns the exit code.
+func reportCompare(results []compareResult, tolerance float64) int {
+	code := 0
+	for _, r := range results {
+		switch {
+		case r.BaseOnly:
+			fmt.Printf("MISSING  %-40s (in baseline, not in this run)\n", r.Name)
+			code = 1
+		case r.Regress:
+			fmt.Printf("REGRESS  %-40s %-10s %12.1f -> %12.1f  (%.2fx, tolerance %.0f%%)\n",
+				r.Name, r.Metric, r.Base, r.Current, r.Ratio, tolerance*100)
+			code = 1
+		default:
+			fmt.Printf("ok       %-40s %-10s %12.1f -> %12.1f  (%.2fx)\n",
+				r.Name, r.Metric, r.Base, r.Current, r.Ratio)
+		}
+	}
+	if code != 0 {
+		fmt.Println("benchjson: regression against baseline")
+	}
+	return code
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, snap *Snapshot) string {
+	t.Helper()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(name string, ns, allocs float64) Benchmark {
+	return Benchmark{Name: name, Iters: 1, NsPerOp: ns, Metrics: map[string]float64{"allocs/op": allocs}}
+}
+
+func TestParseTolerance(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		bad  bool
+	}{
+		{in: "25%", want: 0.25},
+		{in: "0.25", want: 0.25},
+		{in: "25", want: 0.25},
+		{in: "0", want: 0},
+		{in: "1", want: 1},
+		{in: "150%", want: 1.5},
+		{in: "-3", bad: true},
+		{in: "x", bad: true},
+		{in: "", bad: true},
+	}
+	for _, tc := range cases {
+		got, err := parseTolerance(tc.in)
+		if tc.bad {
+			if err == nil {
+				t.Errorf("parseTolerance(%q) accepted", tc.in)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("parseTolerance(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1000)}}
+	cur := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 500, 1200)}}
+	results, regressed, err := compare(cur, writeBaseline(t, base), 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("20%% allocs growth regressed at 25%% tolerance: %+v", results)
+	}
+	if len(results) != 1 || results[0].Metric != "allocs/op" {
+		t.Fatalf("ns/op compared without -ns: %+v", results)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1000)}}
+	cur := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1300)}}
+	_, regressed, err := compare(cur, writeBaseline(t, base), 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("30% allocs growth passed at 25% tolerance")
+	}
+}
+
+func TestCompareNsOnlyWhenAsked(t *testing.T) {
+	base := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1000)}}
+	cur := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 1000)}}
+	_, regressed, err := compare(cur, writeBaseline(t, base), 0.25, false)
+	if err != nil || regressed {
+		t.Fatalf("10x ns/op failed the default allocs-only compare: %v", err)
+	}
+	_, regressed, err = compare(cur, writeBaseline(t, base), 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("10x ns/op passed with -ns")
+	}
+}
+
+func TestCompareMissingBenchmarkRegresses(t *testing.T) {
+	base := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1000), bench("BenchmarkGone", 1, 1)}}
+	cur := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1000)}}
+	results, regressed, err := compare(cur, writeBaseline(t, base), 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("deleted benchmark did not regress")
+	}
+	var sawMissing bool
+	for _, r := range results {
+		sawMissing = sawMissing || (r.Name == "BenchmarkGone" && r.BaseOnly)
+	}
+	if !sawMissing {
+		t.Fatalf("missing benchmark not reported: %+v", results)
+	}
+}
+
+func TestCompareNewBenchmarkIgnored(t *testing.T) {
+	base := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1000)}}
+	cur := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1000), bench("BenchmarkNew", 1, 99999)}}
+	_, regressed, err := compare(cur, writeBaseline(t, base), 0.25, false)
+	if err != nil || regressed {
+		t.Fatalf("new benchmark affected the verdict: %v", err)
+	}
+}
+
+func TestCompareAgainstSeedBaseline(t *testing.T) {
+	// The committed seed baseline must compare clean against itself.
+	raw, err := os.ReadFile("../../BENCH_seed.json")
+	if err != nil {
+		t.Skipf("no seed baseline: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	_, regressed, err := compare(&snap, "../../BENCH_seed.json", 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("seed baseline regresses against itself")
+	}
+}

@@ -8,11 +8,21 @@
 // stripped), iterations, ns/op, and any further reported metrics
 // (B/op, allocs/op, custom ReportMetric units). Context lines (goos,
 // goarch, pkg, cpu) are captured into the snapshot header.
+//
+// With -baseline, the parsed run is instead compared against a committed
+// snapshot and the command exits 1 on regression:
+//
+//	go test -bench . -benchmem -benchtime=1x | \
+//	    go run ./cmd/benchjson -baseline BENCH_seed.json -tolerance 25%
+//
+// allocs/op is compared by default (deterministic across hosts); add -ns
+// to also compare ns/op, which is noisy on shared CI runners.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -34,6 +44,20 @@ type Snapshot struct {
 }
 
 func main() {
+	baseline := flag.String("baseline", "", "compare against this committed snapshot instead of emitting JSON")
+	toleranceFlag := flag.String("tolerance", "25%", "allowed growth over the baseline before failing (e.g. 25%)")
+	compareNs := flag.Bool("ns", false, "also compare ns/op against the baseline (noisy on shared runners)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: go test -bench . -benchmem | %s [-baseline FILE [-tolerance PCT] [-ns]]\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: unexpected argument %q (input is read from stdin)\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	snap, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -43,6 +67,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
+
+	if *baseline != "" {
+		tol, err := parseTolerance(*toleranceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		results, _, err := compare(snap, *baseline, tol, *compareNs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		os.Exit(reportCompare(results, tol))
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(snap); err != nil {

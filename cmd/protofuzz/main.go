@@ -1,0 +1,142 @@
+// Command protofuzz explores protocol message interleavings and checks
+// invariants after every directory transaction.
+//
+// It generates random loop access streams and replays each under several
+// seeded delivery orders — permuting same-cycle event delivery, network
+// latency, and processor interleaving — while an attached checker audits
+// the directory/cache protocol state and a software LRPD oracle
+// cross-checks the final speculation verdict.
+//
+// Usage:
+//
+//	protofuzz [-seeds N] [-scale quick|default|deep] [-seed S] [-inject BUG] [-o FILE] [-v]
+//	protofuzz -replay FILE
+//
+// The first form explores until N distinct delivery orders have been
+// seen (zero-violation runs exit 0). On a violation it prints a
+// minimized reproducer as JSON — to stdout, or to -o FILE — and exits 1.
+// The second form re-runs a saved reproducer and reports its verdict.
+//
+// -inject plants a known protocol bug (e.g. first-vs-write-flip disables
+// the §3.2 First_update-vs-write bounce rule) to prove the checker can
+// catch it; CI uses this as a self-test of the fuzzer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specrt/internal/check"
+	"specrt/internal/core"
+)
+
+var injectNames = map[string]core.InjectedBug{
+	"none":                core.InjectNone,
+	"first-vs-write-flip": core.InjectFirstVsWriteFlip,
+}
+
+func main() {
+	seeds := flag.Int("seeds", 200, "distinct delivery orders to explore")
+	scaleName := flag.String("scale", "quick", "stream size: quick, default or deep")
+	baseSeed := flag.Uint64("seed", 1, "base seed for stream generation and ordering")
+	injectName := flag.String("inject", "none", "plant a known protocol bug: none or first-vs-write-flip")
+	replayFile := flag.String("replay", "", "re-run a saved reproducer file instead of exploring")
+	outFile := flag.String("o", "", "write the minimized reproducer to this file (default: stdout)")
+	verbose := flag.Bool("v", false, "print progress as exploration runs")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-seeds N] [-scale quick|default|deep] [-seed S] [-inject BUG] [-o FILE] [-v]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "       %s -replay FILE\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "protofuzz: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *replayFile != "" {
+		os.Exit(replay(*replayFile))
+	}
+
+	sc, err := check.ScaleByName(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protofuzz:", err)
+		os.Exit(2)
+	}
+	inject, ok := injectNames[*injectName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "protofuzz: unknown -inject %q (have none, first-vs-write-flip)\n", *injectName)
+		os.Exit(2)
+	}
+	if *seeds <= 0 {
+		fmt.Fprintln(os.Stderr, "protofuzz: -seeds must be positive")
+		os.Exit(2)
+	}
+
+	var progress func(done int, sum *check.Summary)
+	if *verbose {
+		progress = func(done int, sum *check.Summary) {
+			if done%50 == 0 {
+				fmt.Fprintf(os.Stderr, "protofuzz: %d replays, %d distinct orders, %d transactions\n",
+					done, sum.DistinctOrders, sum.Transactions)
+			}
+		}
+	}
+	sum, err := check.Explore(*baseSeed, *seeds, sc, inject, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protofuzz:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("protofuzz: %d replays over %d streams (%s scale): %d distinct delivery orders, %d transactions, %d speculation failures (all matching the oracle)\n",
+		sum.Replays, sum.Streams, sc.Name, sum.DistinctOrders, sum.Transactions, sum.HWFailures)
+	if sum.Bad == nil {
+		fmt.Println("protofuzz: no violations")
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "protofuzz: VIOLATION: %s\n", sum.Bad.Violation)
+	fmt.Fprintf(os.Stderr, "protofuzz: minimizing reproducer (%d accesses)...\n", len(sum.Bad.Stream.Accesses))
+	minr := check.Minimize(sum.Bad)
+	fmt.Fprintf(os.Stderr, "protofuzz: minimized to %d accesses\n", len(minr.Stream.Accesses))
+	out := minr.Marshal()
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "protofuzz:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "protofuzz: reproducer written to %s (re-run with -replay %s)\n", *outFile, *outFile)
+	} else {
+		fmt.Printf("%s\n", out)
+	}
+	os.Exit(1)
+}
+
+// replay re-runs a saved reproducer and reports its verdict: exit 1 when
+// the violation still reproduces, 0 when it no longer does.
+func replay(path string) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protofuzz:", err)
+		return 2
+	}
+	r, err := check.ParseReproducer(b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protofuzz:", err)
+		return 2
+	}
+	rep, err := check.Replay(r.Stream, r.OrderSeed, r.Inject)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protofuzz:", err)
+		return 2
+	}
+	fmt.Printf("protofuzz: replayed %d accesses (order seed %d, inject %d): %d transactions, order hash %#x\n",
+		len(r.Stream.Accesses), r.OrderSeed, r.Inject, rep.Transactions, rep.OrderHash)
+	if v := rep.Violation(); v != nil {
+		fmt.Printf("protofuzz: VIOLATION reproduced: %v\n", v)
+		return 1
+	}
+	fmt.Println("protofuzz: no violation (fixed, or not reproducible on this build)")
+	return 0
+}

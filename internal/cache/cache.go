@@ -235,6 +235,17 @@ func (c *Cache) ClearBits(keep func(line mem.Addr) bool, mutate func(abits.Word)
 	}
 }
 
+// ForEach calls fn for every valid (non-Invalid) frame, in frame order.
+// The Line is passed by value; fn must not retain its Bits slice. Used by
+// invariant checkers to audit cache/directory agreement.
+func (c *Cache) ForEach(fn func(Line)) {
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			fn(c.lines[i])
+		}
+	}
+}
+
 // Lines returns the number of frames (for tests and occupancy inspection).
 func (c *Cache) Lines() int { return c.sets }
 

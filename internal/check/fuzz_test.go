@@ -1,0 +1,69 @@
+package check
+
+import (
+	"bytes"
+	"testing"
+
+	"specrt/internal/core"
+)
+
+// FuzzProtocolOrders feeds arbitrary bytes through FromBytes — the first
+// bytes shape the stream, the rest drive its accesses — and replays the
+// result under a delivery order also derived from the input. Any
+// invariant violation or hardware/oracle verdict mismatch is a bug.
+func FuzzProtocolOrders(f *testing.F) {
+	f.Add([]byte("specrt"), uint64(1))
+	f.Add([]byte{0, 0, 0, 0}, uint64(2))
+	f.Add([]byte{0xff, 0x80, 0x01, 0x7f, 0x33, 0x21, 0x10, 0x9a, 0xbc}, uint64(3))
+	f.Add(bytes.Repeat([]byte{0x5a, 0xc3, 0x11}, 40), uint64(0xdeadbeef))
+	f.Fuzz(func(t *testing.T, b []byte, orderSeed uint64) {
+		s := FromBytes(b)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("FromBytes produced an invalid stream: %v", err)
+		}
+		rep, err := Replay(s, orderSeed, core.InjectNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := rep.Violation(); v != nil {
+			r := &Reproducer{Stream: s, OrderSeed: orderSeed, Violation: v.Error()}
+			t.Fatalf("violation: %v\nreproducer:\n%s", v, r.Marshal())
+		}
+	})
+}
+
+// FuzzReproducerRoundTrip checks that any reproducer that parses also
+// survives a marshal/parse round trip and replays deterministically.
+func FuzzReproducerRoundTrip(f *testing.F) {
+	seed := &Reproducer{Stream: Generate(1, Scales[0]), OrderSeed: 99}
+	f.Add(seed.Marshal())
+	f.Add([]byte(`{"stream":{"procs":2,"elems":4,"elemSize":4,"accesses":[{"p":1,"e":3,"w":true}]},"orderSeed":7}`))
+	f.Add([]byte(`{"stream":{"procs":3,"elems":8,"elemSize":8,"priv":true,"accesses":[{"p":0,"i":1,"e":0}]}}`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := ParseReproducer(b)
+		if err != nil {
+			t.Skip() // malformed inputs are rejected, not replayed
+		}
+		r2, err := ParseReproducer(r.Marshal())
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if len(r2.Stream.Accesses) != len(r.Stream.Accesses) || r2.OrderSeed != r.OrderSeed {
+			t.Fatalf("round trip changed the reproducer: %+v vs %+v", r2, r)
+		}
+		if len(r.Stream.Accesses) > 600 {
+			t.Skip() // keep fuzz iterations fast
+		}
+		a, err := Replay(r.Stream, r.OrderSeed, r.Inject)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := Replay(r2.Stream, r2.OrderSeed, r2.Inject)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.OrderHash != b2.OrderHash || a.HWFailed != b2.HWFailed {
+			t.Fatalf("replay not deterministic across round trip: %+v vs %+v", a, b2)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package check
+
+// Minimize shrinks a failing reproducer by greedy access removal: it
+// repeatedly drops accesses (suffixes first, then singles) while the
+// replay still reports a violation, and returns the smallest failing
+// reproducer found. The result reproduces some violation — not
+// necessarily the identical message — since removing accesses can expose
+// the same root cause through a different check.
+func Minimize(r *Reproducer) *Reproducer {
+	best := *r
+	cur := *r.Stream
+	cur.Accesses = append([]Access(nil), r.Stream.Accesses...)
+	stillFails := func(s *Stream) bool {
+		rep, err := Replay(s, r.OrderSeed, r.Inject)
+		return err == nil && rep.Violation() != nil
+	}
+	if !stillFails(&cur) {
+		return &best // not reproducible as given; keep the original
+	}
+
+	// Phase 1: halve the stream while the first half still fails
+	// (violations usually trigger early; failing is not monotone in the
+	// prefix length, so this is a heuristic cut, not a binary search).
+	for len(cur.Accesses) > 1 {
+		trial := cur
+		trial.Accesses = cur.Accesses[:len(cur.Accesses)/2]
+		if !stillFails(&trial) {
+			break
+		}
+		cur.Accesses = trial.Accesses
+	}
+
+	// Phase 2: greedy single-access removal until a fixed point.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur.Accesses); i++ {
+			trial := cur
+			trial.Accesses = make([]Access, 0, len(cur.Accesses)-1)
+			trial.Accesses = append(trial.Accesses, cur.Accesses[:i]...)
+			trial.Accesses = append(trial.Accesses, cur.Accesses[i+1:]...)
+			if trial.Validate() != nil {
+				continue // removal broke iteration monotonicity bookkeeping
+			}
+			if stillFails(&trial) {
+				cur.Accesses = trial.Accesses
+				changed = true
+				i--
+			}
+		}
+	}
+
+	min := cur
+	best.Stream = &min
+	if rep, err := Replay(&min, r.OrderSeed, r.Inject); err == nil {
+		if v := rep.Violation(); v != nil {
+			best.Violation = v.Error()
+		}
+	}
+	return &best
+}

@@ -1,0 +1,353 @@
+// Package check explores protocol transaction interleavings and asserts
+// the paper's protocol invariants over them.
+//
+// A Stream is a loop's logical access trace (who touches which element,
+// when, how). Replay executes a stream on a freshly built machine under a
+// seeded permutation of message arrival order — reordering same-cycle
+// engine events (sim.OrderPolicy) and stretching per-message network
+// latencies (machine.MsgDelay) — while a Checker attached to the
+// machine's transaction hook verifies, after every directory transaction,
+// the invariants §3.2 and §3.3 promise: First/NoShr/ROnly monotonicity
+// and tag/directory agreement for the non-privatization algorithm, and
+// MaxR1st/MinW lattice monotonicity plus PMaxR1st/PMaxW consistency for
+// the privatization algorithm. A differential oracle cross-checks every
+// pass/fail verdict against the software LRPD test on the same stream.
+//
+// cmd/protofuzz drives Explore over many generated streams and seeds; the
+// go test fuzz targets feed byte strings through FromBytes.
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"specrt/internal/lrpd"
+)
+
+// Access is one logical element access in a stream.
+type Access struct {
+	Proc int `json:"p"`
+	// Iter is the 1-based global iteration executing the access
+	// (privatization streams only; the non-privatization protocol is
+	// iteration-blind and uses 0).
+	Iter  int  `json:"i"`
+	Elem  int  `json:"e"`
+	Write bool `json:"w,omitempty"`
+}
+
+// Stream is a loop's access trace plus the protocol configuration it runs
+// under. Accesses appear in global program order; each processor's
+// subsequence is its program order (iterations non-decreasing), and
+// Replay is free to interleave processors any way that preserves it.
+type Stream struct {
+	Procs    int      `json:"procs"`
+	Elems    int      `json:"elems"`
+	ElemSize int      `json:"elemSize"`
+	Priv     bool     `json:"priv"`
+	RICO     bool     `json:"rico,omitempty"`
+	CopyOut  bool     `json:"copyOut,omitempty"`
+	Accesses []Access `json:"accesses"`
+}
+
+// Validate checks that the stream is well formed: bounded shape, indices
+// in range, and per-processor iteration numbers that are positive and
+// non-decreasing (privatization) or zero (non-privatization).
+func (s *Stream) Validate() error {
+	if s.Procs < 1 || s.Procs > 16 {
+		return fmt.Errorf("check: procs %d outside [1,16]", s.Procs)
+	}
+	if s.Elems < 1 || s.Elems > 4096 {
+		return fmt.Errorf("check: elems %d outside [1,4096]", s.Elems)
+	}
+	switch s.ElemSize {
+	case 4, 8, 16:
+	default:
+		return fmt.Errorf("check: unsupported element size %d", s.ElemSize)
+	}
+	if len(s.Accesses) > 100000 {
+		return fmt.Errorf("check: stream too long (%d accesses)", len(s.Accesses))
+	}
+	lastIter := make([]int, s.Procs)
+	for i, a := range s.Accesses {
+		if a.Proc < 0 || a.Proc >= s.Procs {
+			return fmt.Errorf("check: access %d: proc %d out of range", i, a.Proc)
+		}
+		if a.Elem < 0 || a.Elem >= s.Elems {
+			return fmt.Errorf("check: access %d: elem %d out of range", i, a.Elem)
+		}
+		if s.Priv {
+			if a.Iter < 1 {
+				return fmt.Errorf("check: access %d: privatization iterations are 1-based", i)
+			}
+			if a.Iter < lastIter[a.Proc] {
+				return fmt.Errorf("check: access %d: proc %d iteration regresses %d -> %d",
+					i, a.Proc, lastIter[a.Proc], a.Iter)
+			}
+			lastIter[a.Proc] = a.Iter
+		} else if a.Iter != 0 {
+			return fmt.Errorf("check: access %d: non-privatization streams use Iter 0", i)
+		}
+	}
+	return nil
+}
+
+// Scale bounds the shapes the stream generator produces.
+type Scale struct {
+	Name     string
+	MaxProcs int // procs drawn from [2, MaxProcs]
+	MaxElems int // elems drawn from [1, MaxElems]
+	MaxSteps int // accesses (np) or iterations (priv) drawn from [1, MaxSteps]
+}
+
+// Scales are the supported exploration sizes, smallest first.
+var Scales = []Scale{
+	{Name: "quick", MaxProcs: 4, MaxElems: 32, MaxSteps: 48},
+	{Name: "default", MaxProcs: 6, MaxElems: 64, MaxSteps: 120},
+	{Name: "deep", MaxProcs: 8, MaxElems: 128, MaxSteps: 320},
+}
+
+// ScaleByName finds a scale, returning an error naming the alternatives
+// on a miss (so CLI flags fail with a usage error, not a panic).
+func ScaleByName(name string) (Scale, error) {
+	for _, sc := range Scales {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scale{}, fmt.Errorf("check: unknown scale %q (have quick, default, deep)", name)
+}
+
+// Generate builds a pseudo-random stream for the given seed: random
+// processor and iteration counts, aliasing patterns (uniform, hot-set,
+// strided), read/write mixes, privatization on/off, read-in/copy-out
+// on/off. The same seed always yields the same stream.
+func Generate(seed uint64, sc Scale) *Stream {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	s := &Stream{
+		Procs:    2 + rng.Intn(sc.MaxProcs-1),
+		Elems:    1 + rng.Intn(sc.MaxElems),
+		ElemSize: []int{4, 8, 16}[rng.Intn(3)],
+		Priv:     rng.Intn(2) == 0,
+	}
+	if s.Priv {
+		s.RICO = rng.Intn(2) == 0
+		s.CopyOut = rng.Intn(2) == 0
+	}
+
+	// Conflict archetype. Streams that fail speculation stop at the
+	// first detected dependence, so a fuzzer that only generates racy
+	// streams explores almost no interleavings; most streams follow
+	// shapes the protocols accept (partitioned or read-shared work),
+	// which run to completion under heavy message traffic, and a
+	// minority are deliberately racy.
+	arche := rng.Intn(10)
+	// Aliasing pattern within whatever element pool the archetype picks:
+	// hot sets force races on a few elements, strides exercise line
+	// sharing at the three element sizes, uniform covers the rest.
+	var pick func(span int) int
+	switch rng.Intn(3) {
+	case 0: // uniform
+		pick = func(span int) int { return rng.Intn(span) }
+	case 1: // hot set
+		pick = func(span int) int {
+			if hot := minInt(4, span); rng.Intn(2) == 0 {
+				return rng.Intn(hot)
+			}
+			return rng.Intn(span)
+		}
+	default: // strided walk
+		stride := 1 + rng.Intn(4)
+		pos := rng.Intn(s.Elems)
+		pick = func(span int) int {
+			pos = (pos + stride) % span
+			return pos
+		}
+	}
+	// Read/write mix: write probability between 1/2 and 1/5; low denoms
+	// give write-first-heavy streams, high denoms read-first-heavy ones.
+	denom := 1 + rng.Intn(4)
+	write := func() bool { return rng.Intn(denom+1) < 1 }
+	// Partitioning for the conflict-free archetypes: processor p owns
+	// elements [p*part, (p+1)*part) (clamped), and the first roPart
+	// elements are a read-only pool nobody writes.
+	part := maxInt(1, s.Elems/s.Procs)
+	roPart := maxInt(1, s.Elems/4)
+	ownElem := func(p int) int {
+		lo := minInt(p*part, s.Elems-1)
+		span := minInt(part, s.Elems-lo)
+		return lo + pick(span)
+	}
+
+	if s.Priv {
+		iters := 1 + rng.Intn(sc.MaxSteps)
+		for it := 1; it <= iters; it++ {
+			p := (it - 1) % s.Procs
+			n := 1 + rng.Intn(3)
+			switch {
+			case arche < 4:
+				// Write-before-read: each element the iteration touches
+				// is written first, so reads are never read-first and
+				// the lattice never trips. Exercises first-write races.
+				for k := 0; k < n; k++ {
+					e := pick(s.Elems)
+					s.Accesses = append(s.Accesses, Access{Proc: p, Iter: it, Elem: e, Write: true})
+					if rng.Intn(2) == 0 {
+						s.Accesses = append(s.Accesses, Access{Proc: p, Iter: it, Elem: e})
+					}
+				}
+			case arche < 7:
+				// Read-only pool + privately written elements: read-first
+				// signals race freely but never meet a write.
+				for k := 0; k < n; k++ {
+					if !write() {
+						s.Accesses = append(s.Accesses, Access{Proc: p, Iter: it, Elem: pick(roPart)})
+					} else {
+						s.Accesses = append(s.Accesses, Access{Proc: p, Iter: it, Elem: ownElem(p), Write: true})
+					}
+				}
+			default:
+				// Racy: anything anywhere; usually fails somewhere.
+				for k := 0; k < n; k++ {
+					s.Accesses = append(s.Accesses, Access{Proc: p, Iter: it, Elem: pick(s.Elems), Write: write()})
+				}
+			}
+		}
+	} else {
+		steps := 1 + rng.Intn(sc.MaxSteps)
+		for i := 0; i < steps; i++ {
+			p := rng.Intn(s.Procs)
+			a := Access{Proc: p}
+			switch {
+			case arche < 4:
+				// Partitioned: every processor stays in its own elements
+				// (all NoShr); First_updates race only with same-owner
+				// writes.
+				a.Elem, a.Write = ownElem(p), write()
+			case arche < 7:
+				// Read-shared pool + partitioned writes: concurrent
+				// First_updates and ROnly_updates race on the pool.
+				if !write() {
+					a.Elem = pick(roPart)
+				} else {
+					a.Elem, a.Write = ownElem(p), true
+					if a.Elem < roPart && s.Elems > roPart {
+						a.Elem = roPart + (a.Elem % (s.Elems - roPart))
+					}
+				}
+			default:
+				a.Elem, a.Write = pick(s.Elems), write()
+			}
+			s.Accesses = append(s.Accesses, a)
+		}
+	}
+	return s
+}
+
+// FromBytes derives a well-formed stream from an arbitrary byte string,
+// for go test fuzzing: the first bytes pick the shape, the rest become
+// accesses. Always returns a valid stream (possibly empty).
+func FromBytes(b []byte) *Stream {
+	s := &Stream{Procs: 2, Elems: 8, ElemSize: 4}
+	if len(b) > 0 {
+		s.Procs = 2 + int(b[0])%3
+	}
+	if len(b) > 1 {
+		s.Elems = 1 + int(b[1])%24
+	}
+	if len(b) > 2 {
+		s.ElemSize = []int{4, 8, 16}[int(b[2])%3]
+		s.Priv = b[2]&0x4 != 0
+		s.RICO = s.Priv && b[2]&0x8 != 0
+		s.CopyOut = s.Priv && b[2]&0x10 != 0
+	}
+	body := b[minInt(3, len(b)):]
+	if len(body) > 512 {
+		body = body[:512]
+	}
+	iter := 0
+	for i, c := range body {
+		a := Access{Elem: (int(c) >> 1) % s.Elems, Write: c&1 != 0}
+		if s.Priv {
+			// One iteration per access, dealt round-robin, keeps each
+			// processor's iteration numbers strictly increasing.
+			iter++
+			a.Iter = iter
+			a.Proc = (iter - 1) % s.Procs
+		} else {
+			a.Proc = i % s.Procs
+		}
+		s.Accesses = append(s.Accesses, a)
+	}
+	return s
+}
+
+// ExpectedFail is the differential oracle: the verdict the software LRPD
+// test reaches on the stream, which the hardware protocols must match.
+//
+// Non-privatization is processor-wise under any schedule (§3.2), so the
+// oracle is the LRPD test with one super-iteration per processor.
+// Privatization with read-in/copy-out matches the §2.2.3 extended test.
+// Without read-in, the hardware additionally fails — conservatively — on
+// the first-ever access to a private line being a read (the private copy
+// would hold undefined data, Figure 8-(c)); that predicate is a
+// deterministic function of each processor's program order.
+func (s *Stream) ExpectedFail() bool {
+	ops := make([]lrpd.Op, len(s.Accesses))
+	if !s.Priv {
+		for i, a := range s.Accesses {
+			ops[i] = lrpd.Op{Iter: a.Proc, Elem: a.Elem, Write: a.Write}
+		}
+		return lrpd.Test(s.Elems, ops, false).Verdict == lrpd.NotParallel
+	}
+	for i, a := range s.Accesses {
+		ops[i] = lrpd.Op{Iter: a.Iter - 1, Elem: a.Elem, Write: a.Write}
+	}
+	if lrpd.TestWithReadIn(s.Elems, ops).Verdict == lrpd.NotParallel {
+		return true
+	}
+	return !s.RICO && s.conservativeReadIn()
+}
+
+// conservativeReadIn reports whether some processor's first-ever access
+// to one of its private cache lines is a read. Private regions are
+// page-aligned, so the line grouping is elems-per-line over the element
+// index.
+func (s *Stream) conservativeReadIn() bool {
+	perLine := maxInt(1, 64/s.ElemSize) // machine.DefaultConfig line size
+	lines := (s.Elems + perLine - 1) / perLine
+	touched := make([]bool, s.Procs*lines)
+	for _, a := range s.Accesses {
+		li := a.Proc*lines + a.Elem/perLine
+		if !touched[li] {
+			if !a.Write {
+				return true
+			}
+			touched[li] = true
+		}
+	}
+	return false
+}
+
+// MarshalIndent renders the stream as indented JSON (reproducer files).
+func (s *Stream) MarshalIndent() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic(err) // Stream has no unmarshalable fields
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -187,6 +187,11 @@ type Controller struct {
 	// within a line then fails spuriously. Exposed for the granularity
 	// ablation; applies to the non-privatization protocol.
 	LineGrain bool
+
+	// Inject selects a deliberate protocol bug (see InjectedBug). Only
+	// the interleaving fuzzer sets this, to prove the invariant checker
+	// catches broken race-resolution rules.
+	Inject InjectedBug
 }
 
 // grain maps an element to the element whose state it shares: itself at

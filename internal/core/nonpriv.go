@@ -224,6 +224,12 @@ func (c *Controller) sendFirstUpdate(arr *Array, p, e int) {
 			return nil // message from a finished loop
 		}
 		if arr.npNoShr[e] {
+			if c.Inject == InjectFirstVsWriteFlip {
+				// Deliberately broken rule (see InjectedBug): accept
+				// the racing First_update instead of raising FAIL.
+				arr.npROnly[e] = true
+				return nil
+			}
 			return c.fail(FailFirstVsWrite, arr, e, p, c.curIter[p])
 		}
 		switch {
@@ -243,7 +249,7 @@ func (c *Controller) sendFirstUpdateFail(arr *Array, p, e int) {
 	c.Stats.FirstUpdateFails++
 	gen := c.gen
 	addr := arr.Region.ElemAddr(e)
-	c.M.SendToProc(p, func() error {
+	c.M.SendToProc(p, addr, func() error {
 		if c.gen != gen {
 			return nil
 		}

@@ -10,6 +10,7 @@ package directory
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"specrt/internal/mem"
 )
@@ -112,6 +113,19 @@ func (d *Directory) Len() int { return len(d.entries) }
 // and the runtime resets directory coherence state to match).
 func (d *Directory) Reset() {
 	d.entries = make(map[mem.Addr]*Entry)
+}
+
+// ForEach calls fn for every tracked line in increasing address order
+// (sorted so that walks are deterministic; used by invariant checkers).
+func (d *Directory) ForEach(fn func(line mem.Addr, e *Entry)) {
+	lines := make([]mem.Addr, 0, len(d.entries))
+	for line := range d.entries {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		fn(line, d.entries[line])
+	}
 }
 
 // AddSharer transitions the entry for a read fill by processor p.

@@ -1,0 +1,35 @@
+package harness
+
+import (
+	"testing"
+
+	"specrt/internal/loops"
+	"specrt/internal/run"
+)
+
+// The protocol invariants must hold across the real paper workloads, not
+// just the fuzzer's synthetic streams: every HW execution — passing and
+// forced-failing — runs with the internal/check auditor attached.
+func TestHWWorkloadsSatisfyInvariants(t *testing.T) {
+	ws := append(loops.All(), loops.ForcedFails(Quick.P3mIters)...)
+	for _, w := range ws {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := run.Config{
+				Procs:           8,
+				Mode:            run.HW,
+				Contention:      true,
+				MaxExecutions:   2,
+				CheckInvariants: true,
+			}
+			r, err := run.Execute(w, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.InvariantErr != nil {
+				t.Fatalf("invariant violation in %s: %v", w.Name, r.InvariantErr)
+			}
+		})
+	}
+}

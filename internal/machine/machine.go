@@ -122,6 +122,43 @@ type Proc struct {
 	L2 *cache.Cache
 }
 
+// TxKind classifies the directory transactions reported through
+// Machine.OnTransaction.
+type TxKind uint8
+
+const (
+	// TxFetchRead is a read miss serviced at the home (FetchRead).
+	TxFetchRead TxKind = iota
+	// TxFetchWrite is a write miss or upgrade serviced at the home
+	// (FetchWrite).
+	TxFetchWrite
+	// TxWriteback is a dirty eviction retiring at the home
+	// (writebackToHome).
+	TxWriteback
+	// TxHomeMsg is a deferred bit-update message delivered at the home
+	// (First_update, ROnly_update, read-first and first-write signals).
+	TxHomeMsg
+	// TxProcMsg is a directory-to-cache message delivered at a processor
+	// (First_update_fail).
+	TxProcMsg
+)
+
+func (k TxKind) String() string {
+	switch k {
+	case TxFetchRead:
+		return "FetchRead"
+	case TxFetchWrite:
+		return "FetchWrite"
+	case TxWriteback:
+		return "Writeback"
+	case TxHomeMsg:
+		return "HomeMsg"
+	case TxProcMsg:
+		return "ProcMsg"
+	}
+	return fmt.Sprintf("TxKind(%d)", uint8(k))
+}
+
 // Stats counts protocol events machine-wide.
 type Stats struct {
 	Reads         uint64
@@ -157,6 +194,23 @@ type Machine struct {
 	// messages (speculation FAILs detected at a directory).
 	OnFail func(err error)
 
+	// OnTransaction, if set, is called after every directory transaction
+	// completes: synchronous fetches (including failed ones), dirty
+	// writebacks, and each deferred message delivery. proc is the
+	// requester for fetches, the owner for writebacks, the source for
+	// home messages and the destination for processor messages; line is
+	// the line-aligned address involved. The invariant checker hangs off
+	// this hook; the hook must not issue new transactions.
+	OnTransaction func(kind TxKind, proc int, line mem.Addr)
+
+	// MsgDelay, if set, perturbs the network latency of each deferred
+	// protocol message: it receives the source and destination nodes and
+	// the base one-way latency and returns the latency to use (values
+	// below the base are clamped to it, preserving causality and the
+	// per-pair FIFO assumption; see SendToHome). The interleaving fuzzer
+	// uses this to explore cross-pair message orderings.
+	MsgDelay func(from, to int, base sim.Time) sim.Time
+
 	lineBytes mem.Addr
 
 	// msgq holds in-flight deferred messages per (source, home) pair,
@@ -172,23 +226,28 @@ type Machine struct {
 
 // pendingMsg is one in-flight deferred protocol message. gen increments on
 // every recycle so that an arrival event scheduled for a previous use of
-// the slot recognizes itself as stale.
+// the slot recognizes itself as stale. from and line identify the message
+// for the OnTransaction hook.
 type pendingMsg struct {
 	fn   func() error
+	from int
+	line mem.Addr
 	done bool
 	gen  uint32
 }
 
 // getMsg takes a message slot from the pool (or allocates one).
-func (m *Machine) getMsg(fn func() error) *pendingMsg {
+func (m *Machine) getMsg(from int, line mem.Addr, fn func() error) *pendingMsg {
 	if n := len(m.msgPool); n > 0 {
 		msg := m.msgPool[n-1]
 		m.msgPool = m.msgPool[:n-1]
 		msg.fn = fn
+		msg.from = from
+		msg.line = line
 		msg.done = false
 		return msg
 	}
-	return &pendingMsg{fn: fn}
+	return &pendingMsg{fn: fn, from: from, line: line}
 }
 
 // putMsg retires a delivered (or discarded) message slot into the pool.

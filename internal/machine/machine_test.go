@@ -9,6 +9,7 @@ import (
 	"specrt/internal/cache"
 	"specrt/internal/directory"
 	"specrt/internal/mem"
+	"specrt/internal/sim"
 )
 
 // testMachine builds a small 4-node machine without contention so
@@ -278,11 +279,65 @@ func (*testError) Error() string { return "sentinel" }
 
 func TestSendToProc(t *testing.T) {
 	m := testMachine(t, 2)
+	arr := localArray(m, "a", 64, 4, 0)
 	ran := false
-	m.SendToProc(1, func() error { ran = true; return nil })
+	m.SendToProc(1, arr.ElemAddr(0), func() error { ran = true; return nil })
 	m.Eng.Run()
 	if !ran {
 		t.Fatal("SendToProc never ran")
+	}
+}
+
+func TestOnTransactionHook(t *testing.T) {
+	m := testMachine(t, 2)
+	arr := localArray(m, "a", 64, 4, 0)
+	a := arr.ElemAddr(0)
+	type tx struct {
+		kind TxKind
+		proc int
+		line mem.Addr
+	}
+	var seen []tx
+	m.OnTransaction = func(kind TxKind, proc int, line mem.Addr) {
+		seen = append(seen, tx{kind, proc, line})
+	}
+	m.Read(1, a)
+	m.SendToHome(1, a, func() error { return nil })
+	m.SendToProc(0, a, func() error { return nil })
+	m.Eng.Run()
+	want := []tx{
+		{TxFetchRead, 1, m.LineAddr(a)},
+		{TxHomeMsg, 1, m.LineAddr(a)},
+		{TxProcMsg, 0, m.LineAddr(a)},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("saw %d transactions, want %d: %+v", len(seen), len(want), seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("tx[%d] = %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestMsgDelayStretchesDelivery(t *testing.T) {
+	m := testMachine(t, 2)
+	arr := localArray(m, "a", 64, 4, 0)
+	a := arr.ElemAddr(0)
+	m.MsgDelay = func(from, to int, base sim.Time) sim.Time { return base + 100 }
+	var at sim.Time
+	m.SendToHome(1, a, func() error { at = m.Eng.Now(); return nil })
+	m.Eng.Run()
+	if want := m.Cfg.Lat.MsgHop + 100; at != want {
+		t.Fatalf("delivered at %d, want %d", at, want)
+	}
+	// Delays below the base hop latency are clamped to it.
+	m.MsgDelay = func(from, to int, base sim.Time) sim.Time { return base - 100 }
+	start := m.Eng.Now()
+	m.SendToHome(1, a, func() error { at = m.Eng.Now(); return nil })
+	m.Eng.Run()
+	if want := start + m.Cfg.Lat.MsgHop; at != want {
+		t.Fatalf("clamped delivery at %d, want %d", at, want)
 	}
 }
 

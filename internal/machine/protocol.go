@@ -85,6 +85,29 @@ func (m *Machine) writebackToHome(owner int, victim cache.Line) {
 	if m.OnDirtyWriteback != nil {
 		m.OnDirtyWriteback(owner, victim.Tag, victim.Bits)
 	}
+	m.notify(TxWriteback, owner, victim.Tag)
+}
+
+// notify reports a completed transaction to the OnTransaction hook.
+func (m *Machine) notify(kind TxKind, proc int, line mem.Addr) {
+	if m.OnTransaction != nil {
+		m.OnTransaction(kind, proc, line)
+	}
+}
+
+// msgLatency returns the one-way latency of a deferred message from node
+// `from` to node `to`, after any MsgDelay perturbation. The perturbed
+// value never drops below the base hop latency, so a message cannot
+// arrive before it physically could.
+func (m *Machine) msgLatency(from, to int) sim.Time {
+	base := m.Cfg.Lat.MsgHop
+	if m.MsgDelay == nil {
+		return base
+	}
+	if d := m.MsgDelay(from, to, base); d > base {
+		return d
+	}
+	return base
 }
 
 // takeProcLine removes the line from p's caches and returns the freshest
@@ -170,6 +193,7 @@ func (m *Machine) FetchRead(p int, a mem.Addr, atHome HomeVisitFn) (sim.Time, er
 
 	bits, err := m.visitHome(line, wb, wbOwner, atHome)
 	if err != nil {
+		m.notify(TxFetchRead, p, line)
 		return lat + m.hopLatency(p, h, threeHop), err
 	}
 
@@ -180,6 +204,7 @@ func (m *Machine) FetchRead(p int, a mem.Addr, atHome HomeVisitFn) (sim.Time, er
 	}
 	e.AddSharer(p)
 	m.installBoth(p, line, cache.Clean, bits)
+	m.notify(TxFetchRead, p, line)
 	return lat + m.hopLatency(p, h, threeHop), nil
 }
 
@@ -224,6 +249,7 @@ func (m *Machine) FetchWrite(p int, a mem.Addr, atHome HomeVisitFn) (sim.Time, e
 
 	bits, err := m.visitHome(line, wb, wbOwner, atHome)
 	if err != nil {
+		m.notify(TxFetchWrite, p, line)
 		return lat + m.hopLatency(p, h, threeHop), err
 	}
 
@@ -245,6 +271,7 @@ func (m *Machine) FetchWrite(p int, a mem.Addr, atHome HomeVisitFn) (sim.Time, e
 		}
 	}
 	m.installBoth(p, line, cache.Dirty, bits)
+	m.notify(TxFetchWrite, p, line)
 	return lat + m.hopLatency(p, h, threeHop), nil
 }
 
@@ -328,10 +355,10 @@ func (m *Machine) SendToHome(from int, a mem.Addr, fn func() error) {
 	m.Stats.Messages++
 	h := m.HomeOf(a)
 	idx := m.qIndex(from, h)
-	msg := m.getMsg(fn)
+	msg := m.getMsg(from, m.LineAddr(a), fn)
 	gen := msg.gen
 	m.msgq[idx] = append(m.msgq[idx], msg)
-	m.Eng.Schedule(m.Cfg.Lat.MsgHop, func() {
+	m.Eng.Schedule(m.msgLatency(from, h), func() {
 		if msg.gen != gen || msg.done {
 			return // delivered early by a drain (slot may be recycled)
 		}
@@ -360,11 +387,12 @@ func (m *Machine) deliverThrough(idx int, msg *pendingMsg) {
 		// removes the message from its queue before retiring it.
 		last := head == msg
 		head.done = true
-		fn := head.fn
+		fn, from, line := head.fn, head.from, head.line
 		m.putMsg(head)
 		if err := fn(); err != nil && m.OnFail != nil {
 			m.OnFail(err)
 		}
+		m.notify(TxHomeMsg, from, line)
 		if last {
 			break
 		}
@@ -390,7 +418,7 @@ func (m *Machine) DrainMessages(p, h int) {
 		// Queued entries are always undelivered (delivery always pops
 		// first), so each is retired exactly once here.
 		msg.done = true
-		fn := msg.fn
+		fn, from, line := msg.fn, msg.from, msg.line
 		m.putMsg(msg)
 		if m.Cfg.Contention {
 			m.Home[h].Acquire(m.Eng.Now(), m.Cfg.Lat.HomeOccMsg)
@@ -398,6 +426,7 @@ func (m *Machine) DrainMessages(p, h int) {
 		if err := fn(); err != nil && m.OnFail != nil {
 			m.OnFail(err)
 		}
+		m.notify(TxHomeMsg, from, line)
 	}
 	if len(m.msgq[idx]) == 0 {
 		m.msgq[idx] = q[:0]
@@ -405,13 +434,17 @@ func (m *Machine) DrainMessages(p, h int) {
 }
 
 // SendToProc schedules fn to run at processor p's cache after the one-way
-// message latency (directory → cache messages such as First_update_fail).
-func (m *Machine) SendToProc(p int, fn func() error) {
+// message latency (directory → cache messages such as First_update_fail
+// for the line containing a, sent by that line's home directory).
+func (m *Machine) SendToProc(p int, a mem.Addr, fn func() error) {
 	m.Stats.Messages++
-	m.Eng.Schedule(m.Cfg.Lat.MsgHop, func() {
+	h := m.HomeOf(a)
+	line := m.LineAddr(a)
+	m.Eng.Schedule(m.msgLatency(h, p), func() {
 		if err := fn(); err != nil && m.OnFail != nil {
 			m.OnFail(err)
 		}
+		m.notify(TxProcMsg, p, line)
 	})
 }
 

@@ -204,6 +204,11 @@ func (s *session) loopPhase(exec int) {
 		s.loopWindow(exec, win[0], win[1])
 		if i < len(windows)-1 {
 			s.ctl.EpochSync()
+			if s.chk != nil {
+				// The epoch reset rewinds effective iteration numbers;
+				// the checker resnapshots its stamp mirrors.
+				s.chk.Resync()
+			}
 		}
 	}
 }

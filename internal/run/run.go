@@ -160,6 +160,12 @@ type Config struct {
 	// speculation, the remaining executions run serially instead of
 	// paying backup + failed speculation + restore every time.
 	AdaptiveAfter int
+	// CheckInvariants attaches the internal/check protocol auditor to HW
+	// executions: every directory transaction is checked against the
+	// §3.2/§3.3 invariants and the quiesced state is audited after each
+	// execution's drain. Simulation results are unchanged; the first
+	// violation is reported in Result.InvariantErr. Testing/CI use only.
+	CheckInvariants bool
 }
 
 // Result reports one Execute call.
@@ -192,6 +198,10 @@ type Result struct {
 	Verdicts map[string]lrpd.Verdict
 	// FirstFailure is the first hardware-detected failure (HW mode).
 	FirstFailure *core.Failure
+
+	// InvariantErr is the first protocol-invariant violation found when
+	// Config.CheckInvariants is set (nil otherwise, and on clean runs).
+	InvariantErr error
 
 	// MachineStats aggregates coherence-protocol events across the run.
 	MachineStats machine.Stats
@@ -287,6 +297,9 @@ func validate(w *Workload, cfg Config) error {
 	}
 	if cfg.Procs <= 0 {
 		return fmt.Errorf("run: need at least one processor")
+	}
+	if cfg.Procs > 64 {
+		return fmt.Errorf("run: procs must be in [1,64], got %d", cfg.Procs)
 	}
 	if cfg.Mode == SW && w.SWProcWise {
 		k := schedFor(w, cfg).Kind

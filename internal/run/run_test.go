@@ -370,6 +370,42 @@ func TestValidation(t *testing.T) {
 	if _, err := Execute(pw, cfgFor(SW, 2)); err == nil {
 		t.Fatal("processor-wise with dynamic scheduling accepted")
 	}
+	if _, err := Execute(good, Config{Procs: 100, Mode: HW}); err == nil {
+		t.Fatal("procs=100 accepted (machine supports at most 64)")
+	}
+}
+
+// CheckInvariants must not change simulation results, and a healthy
+// protocol must satisfy every invariant across passing, failing and
+// epoch-windowed HW executions.
+func TestHWCheckInvariants(t *testing.T) {
+	cases := []struct {
+		name string
+		w    *Workload
+		cfg  Config
+	}{
+		{name: "nonpriv-pass", w: indepLoop(core.NonPriv, 64, 64, 100), cfg: cfgFor(HW, 4)},
+		{name: "nonpriv-fail", w: depLoop(core.NonPriv, 16), cfg: cfgFor(HW, 4)},
+		{name: "priv-pass", w: indepLoop(core.Priv, 64, 64, 100), cfg: cfgFor(HW, 4)},
+		{name: "priv-fail", w: depLoop(core.Priv, 16), cfg: cfgFor(HW, 4)},
+		{name: "priv-epochs", w: indepLoop(core.Priv, 64, 64, 100),
+			cfg: Config{Procs: 4, Mode: HW, Contention: true, EpochIters: 16}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plain := MustExecute(tc.w, tc.cfg)
+			checked := tc.cfg
+			checked.CheckInvariants = true
+			r := MustExecute(tc.w, checked)
+			if r.InvariantErr != nil {
+				t.Fatalf("invariant violation: %v", r.InvariantErr)
+			}
+			if r.Cycles != plain.Cycles || r.Failures != plain.Failures {
+				t.Fatalf("checking changed the simulation: cycles %d vs %d, failures %d vs %d",
+					r.Cycles, plain.Cycles, r.Failures, plain.Failures)
+			}
+		})
+	}
 }
 
 func TestModeString(t *testing.T) {

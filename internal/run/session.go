@@ -1,6 +1,7 @@
 package run
 
 import (
+	"specrt/internal/check"
 	"specrt/internal/core"
 	"specrt/internal/cpu"
 	"specrt/internal/lrpd"
@@ -26,6 +27,7 @@ type session struct {
 	cfg Config
 	m   *machine.Machine
 	ctl *core.Controller
+	chk *check.Checker // non-nil when cfg.CheckInvariants (HW mode)
 	sys *cpu.System
 
 	procs    int // participating processors
@@ -88,6 +90,9 @@ func newSession(w *Workload, cfg Config) *session {
 			default:
 				s.hwArrays = append(s.hwArrays, nil)
 			}
+		}
+		if cfg.CheckInvariants {
+			s.chk = check.Attach(m, s.ctl)
 		}
 	}
 
@@ -216,12 +221,22 @@ func (s *session) runOne(exec int, res *Result) {
 	case HW:
 		s.copyPhase(false)
 		s.ctl.Arm()
+		if s.chk != nil {
+			s.chk.Rearm()
+		}
 		loopStart := eng.Now()
 		s.loopPhase(exec)
 		if _, aborted := s.sys.Aborted(); !aborted {
 			// Drain in-flight protocol messages: a dependence may be
 			// detected by a bit-update still in the network.
 			eng.Run()
+		}
+		if s.chk != nil && res.InvariantErr == nil {
+			if err := s.chk.Err(); err != nil {
+				res.InvariantErr = err
+			} else if _, aborted := s.sys.Aborted(); !aborted && s.ctl.Failed() == nil {
+				res.InvariantErr = s.chk.CheckQuiesced()
+			}
 		}
 		if _, aborted := s.sys.Aborted(); !aborted {
 			// Final writeback: dirty lines of arrays under test merge

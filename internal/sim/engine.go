@@ -18,19 +18,51 @@ import "fmt"
 // Time is a simulated clock value in processor cycles.
 type Time = int64
 
-// event is a scheduled closure. seq breaks ties so that events scheduled
-// earlier run earlier, keeping the simulation deterministic.
+// OrderPolicy ranks same-time events. When two events are scheduled for
+// the same cycle, the one with the lower rank runs first; equal ranks
+// fall back to schedule order. The rank is computed once, at schedule
+// time, from the event's sequence number, so a policy is a pure function
+// and the engine stays fully deterministic for a given policy.
+//
+// A nil policy (the default) ranks every event 0, which reduces to the
+// engine's historical FIFO tie-break. The protocol interleaving fuzzer
+// installs SeededOrder policies to explore permutations of same-cycle
+// message deliveries.
+type OrderPolicy func(seq uint64) uint64
+
+// SeededOrder returns a policy that permutes same-cycle events
+// pseudo-randomly but deterministically for the given seed (splitmix64
+// over the event sequence number).
+func SeededOrder(seed uint64) OrderPolicy {
+	return func(seq uint64) uint64 {
+		return splitmix64(seed + seq*0x9e3779b97f4a7c15)
+	}
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// high-quality 64-bit mixing function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// event is a scheduled closure. rank (from the order policy) and seq
+// break ties so that same-time execution order is deterministic.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	rank uint64
+	seq  uint64
+	fn   func()
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	now  Time
-	seq  uint64
-	nRun uint64
+	now   Time
+	seq   uint64
+	nRun  uint64
+	order OrderPolicy
 
 	// pool stores event slots; heap holds pool indices ordered by
 	// (at, seq); free lists recycled slots. Storing 4-byte indices in the
@@ -43,6 +75,11 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine { return &Engine{} }
+
+// SetOrderPolicy installs p as the same-cycle tie-break policy for events
+// scheduled from now on; nil restores FIFO order. Events already in the
+// queue keep the rank they were scheduled with.
+func (e *Engine) SetOrderPolicy(p OrderPolicy) { e.order = p }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -72,6 +109,10 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
 	e.seq++
+	var rank uint64
+	if e.order != nil {
+		rank = e.order(e.seq)
+	}
 	var slot int32
 	if n := len(e.free); n > 0 {
 		slot = e.free[n-1]
@@ -80,16 +121,19 @@ func (e *Engine) At(t Time, fn func()) {
 		e.pool = append(e.pool, event{})
 		slot = int32(len(e.pool) - 1)
 	}
-	e.pool[slot] = event{at: t, seq: e.seq, fn: fn}
+	e.pool[slot] = event{at: t, rank: rank, seq: e.seq, fn: fn}
 	e.heap = append(e.heap, slot)
 	e.siftUp(len(e.heap) - 1)
 }
 
-// less orders heap positions i and j by (at, seq).
+// less orders heap positions i and j by (at, rank, seq).
 func (e *Engine) less(i, j int) bool {
 	a, b := &e.pool[e.heap[i]], &e.pool[e.heap[j]]
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.rank != b.rank {
+		return a.rank < b.rank
 	}
 	return a.seq < b.seq
 }
