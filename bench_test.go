@@ -371,3 +371,12 @@ func BenchmarkAblationPrivGranularity(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkAblationMeshContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.New(harness.Quick).AblationMeshContention()
+		if len(rows) != 4 {
+			b.Fatal("bad rows")
+		}
+	}
+}

@@ -9,13 +9,18 @@
 //
 // Usage:
 //
-//	protofuzz [-seeds N] [-scale quick|default|deep] [-seed S] [-inject BUG] [-o FILE] [-v]
+//	protofuzz [-seeds N] [-scale quick|default|deep] [-seed S] [-inject BUG] [-topology T] [-o FILE] [-v]
 //	protofuzz -replay FILE
 //
 // The first form explores until N distinct delivery orders have been
 // seen (zero-violation runs exit 0). On a violation it prints a
 // minimized reproducer as JSON — to stdout, or to -o FILE — and exits 1.
 // The second form re-runs a saved reproducer and reports its verdict.
+//
+// -topology routes the deferred protocol messages over a queued network
+// model (ideal, bus, crossbar or mesh), shifting when messages land
+// relative to later transactions; reproducers record the topology and
+// replay on it.
 //
 // -inject plants a known protocol bug (e.g. first-vs-write-flip disables
 // the §3.2 First_update-vs-write bounce rule) to prove the checker can
@@ -29,6 +34,7 @@ import (
 
 	"specrt/internal/check"
 	"specrt/internal/core"
+	"specrt/internal/interconnect"
 )
 
 var injectNames = map[string]core.InjectedBug{
@@ -41,11 +47,12 @@ func main() {
 	scaleName := flag.String("scale", "quick", "stream size: quick, default or deep")
 	baseSeed := flag.Uint64("seed", 1, "base seed for stream generation and ordering")
 	injectName := flag.String("inject", "none", "plant a known protocol bug: none or first-vs-write-flip")
+	topoName := flag.String("topology", "ideal", "interconnect topology: ideal, bus, crossbar or mesh")
 	replayFile := flag.String("replay", "", "re-run a saved reproducer file instead of exploring")
 	outFile := flag.String("o", "", "write the minimized reproducer to this file (default: stdout)")
 	verbose := flag.Bool("v", false, "print progress as exploration runs")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-seeds N] [-scale quick|default|deep] [-seed S] [-inject BUG] [-o FILE] [-v]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-seeds N] [-scale quick|default|deep] [-seed S] [-inject BUG] [-topology T] [-o FILE] [-v]\n", os.Args[0])
 		fmt.Fprintf(os.Stderr, "       %s -replay FILE\n", os.Args[0])
 		flag.PrintDefaults()
 	}
@@ -70,6 +77,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "protofuzz: unknown -inject %q (have none, first-vs-write-flip)\n", *injectName)
 		os.Exit(2)
 	}
+	topo, err := interconnect.KindByName(*topoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protofuzz:", err)
+		os.Exit(2)
+	}
 	if *seeds <= 0 {
 		fmt.Fprintln(os.Stderr, "protofuzz: -seeds must be positive")
 		os.Exit(2)
@@ -84,13 +96,13 @@ func main() {
 			}
 		}
 	}
-	sum, err := check.Explore(*baseSeed, *seeds, sc, inject, progress)
+	sum, err := check.ExploreOn(*baseSeed, *seeds, sc, inject, topo, progress)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "protofuzz:", err)
 		os.Exit(2)
 	}
-	fmt.Printf("protofuzz: %d replays over %d streams (%s scale): %d distinct delivery orders, %d transactions, %d speculation failures (all matching the oracle)\n",
-		sum.Replays, sum.Streams, sc.Name, sum.DistinctOrders, sum.Transactions, sum.HWFailures)
+	fmt.Printf("protofuzz: %d replays over %d streams (%s scale, %s topology): %d distinct delivery orders, %d transactions, %d speculation failures (all matching the oracle)\n",
+		sum.Replays, sum.Streams, sc.Name, topo, sum.DistinctOrders, sum.Transactions, sum.HWFailures)
 	if sum.Bad == nil {
 		fmt.Println("protofuzz: no violations")
 		return
@@ -126,13 +138,13 @@ func replay(path string) int {
 		fmt.Fprintln(os.Stderr, "protofuzz:", err)
 		return 2
 	}
-	rep, err := check.Replay(r.Stream, r.OrderSeed, r.Inject)
+	rep, err := check.ReplayOn(r.Stream, r.OrderSeed, r.Inject, r.Topology)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "protofuzz:", err)
 		return 2
 	}
-	fmt.Printf("protofuzz: replayed %d accesses (order seed %d, inject %d): %d transactions, order hash %#x\n",
-		len(r.Stream.Accesses), r.OrderSeed, r.Inject, rep.Transactions, rep.OrderHash)
+	fmt.Printf("protofuzz: replayed %d accesses (order seed %d, inject %d, %s topology): %d transactions, order hash %#x\n",
+		len(r.Stream.Accesses), r.OrderSeed, r.Inject, r.Topology, rep.Transactions, rep.OrderHash)
 	if v := rep.Violation(); v != nil {
 		fmt.Printf("protofuzz: VIOLATION reproduced: %v\n", v)
 		return 1

@@ -3,12 +3,18 @@
 //
 // Usage:
 //
-//	specrt [-scale quick|default|paper] [-parallel N] [latencies|fig11|fig12|fig13|fig14|ablations|all]
+//	specrt [-scale quick|default|paper] [-parallel N] [-topology T] [-placement P] [latencies|fig11|fig12|fig13|fig14|network|ablations|all]
 //
 // Experiment cells are independent deterministic simulations; -parallel
 // (default: all host cores) bounds how many run at once. Output is
 // byte-identical at every parallelism level. -cpuprofile/-memprofile
 // write pprof profiles for hot-path work.
+//
+// -topology selects the interconnect model (ideal reproduces the
+// paper's flat hop cost; bus, crossbar and mesh add link queueing) and
+// -placement the page-placement policy for workload arrays; both apply
+// to every experiment cell. The network command prints the
+// mesh-contention ablation on its own.
 package main
 
 import (
@@ -20,16 +26,20 @@ import (
 
 	"specrt/internal/core"
 	"specrt/internal/harness"
+	"specrt/internal/interconnect"
+	"specrt/internal/mem"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "default", "experiment scale: quick, default or paper")
-	formatFlag := flag.String("format", "table", "output format: table or csv (csv for latencies/fig11..fig14 only)")
+	formatFlag := flag.String("format", "table", "output format: table or csv (csv for latencies/fig11..fig14/network only)")
 	parallelFlag := flag.Int("parallel", 0, "worker-pool size for experiment cells (0 = all host cores, 1 = sequential)")
+	topoFlag := flag.String("topology", "ideal", "interconnect topology: ideal, bus, crossbar or mesh")
+	placeFlag := flag.String("placement", "round-robin", "page placement: round-robin, blocked or local")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-scale quick|default|paper] [-parallel N] [latencies|fig11|fig12|fig13|fig14|stats|ablations|all]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-scale quick|default|paper] [-parallel N] [-topology T] [-placement P] [latencies|fig11|fig12|fig13|fig14|stats|network|ablations|all]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -39,7 +49,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	topo, err := interconnect.KindByName(*topoFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	place, err := mem.PlacementByName(*placeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	h := harness.NewParallel(sc, *parallelFlag)
+	h.Topology = topo
+	h.Placement = place
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -123,6 +145,12 @@ func main() {
 	case "stats":
 		h.PrintProtoStats(out)
 		core.PrintStateCosts(out, 16, 1<<16)
+	case "network":
+		if csvMode {
+			checkCSV(harness.MeshResult{Rows: h.AblationMeshContention()}.WriteCSV(out))
+			return
+		}
+		h.PrintAblationMeshContention(out)
 	case "ablations":
 		h.Ablations(out)
 	case "all":

@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	tracesim [-procs N] [-modes Serial,Ideal,SW,HW] trace.json
+//	tracesim [-procs N] [-modes Serial,Ideal,SW,HW] [-topology T] [-placement P] trace.json
 //
 // Reads stdin when no file is given. Exit status 1 if any speculative
-// scheme failed (the loop is not parallel as scheduled).
+// scheme failed (the loop is not parallel as scheduled). -topology
+// routes deferred protocol messages over a contention-aware network
+// model (ideal, bus, crossbar or mesh; ideal reproduces the paper's
+// flat hop cost) and -placement picks the page placement for the
+// loop's arrays; with a non-ideal topology a network summary line is
+// printed per scheme.
 package main
 
 import (
@@ -18,18 +23,34 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"specrt/internal/interconnect"
+	"specrt/internal/mem"
 	"specrt/internal/run"
+	"specrt/internal/stats"
 	"specrt/internal/trace"
 )
 
 func main() {
 	procs := flag.Int("procs", 8, "processors for the parallel schemes")
 	modesFlag := flag.String("modes", "Serial,Ideal,SW,HW", "comma-separated schemes to run")
+	topoFlag := flag.String("topology", "ideal", "interconnect topology: ideal, bus, crossbar or mesh")
+	placeFlag := flag.String("placement", "round-robin", "page placement: round-robin, blocked or local")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-procs N] [-modes Serial,Ideal,SW,HW] [trace.json]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-procs N] [-modes Serial,Ideal,SW,HW] [-topology T] [-placement P] [trace.json]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	topo, err := interconnect.KindByName(*topoFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	place, err := mem.PlacementByName(*placeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var r io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -63,6 +84,7 @@ func main() {
 	var serial *run.Result
 	anyFailed := false
 	failNote := ""
+	var netNotes []string
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "scheme\tprocs\tcycles\tspeedup\tBusy\tMem\tSync\tfailures")
 	for _, mode := range modes {
@@ -70,10 +92,17 @@ func main() {
 		if mode == run.Serial {
 			p = 1
 		}
-		res, err := run.Execute(w, run.Config{Procs: p, Mode: mode, Contention: true})
+		res, err := run.Execute(w, run.Config{Procs: p, Mode: mode, Contention: true,
+			Topology: topo, Placement: place})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
+		}
+		if topo != interconnect.Ideal {
+			n := stats.Network(res)
+			netNotes = append(netNotes, fmt.Sprintf(
+				"%v: %d messages, mean link wait %.1f, max link queue %d, max home queue %d",
+				mode, n.Messages, n.LinkWaitMean, n.MaxLinkQueue, n.MaxHomeQueue))
 		}
 		if mode == run.Serial {
 			serial = res
@@ -93,6 +122,9 @@ func main() {
 		}
 	}
 	tw.Flush()
+	for _, note := range netNotes {
+		fmt.Println("network", note)
+	}
 	if failNote != "" {
 		fmt.Println("first failure:", failNote)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"specrt/internal/core"
+	"specrt/internal/interconnect"
 )
 
 // OrdersPerStream is how many delivery orders Explore tries per generated
@@ -18,6 +19,9 @@ type Reproducer struct {
 	Stream    *Stream          `json:"stream"`
 	OrderSeed uint64           `json:"orderSeed"`
 	Inject    core.InjectedBug `json:"inject,omitempty"`
+	// Topology is the interconnect the failing replay ran on (zero value:
+	// ideal, the default).
+	Topology interconnect.Kind `json:"topology,omitempty"`
 	// Violation is informational (what the original run reported).
 	Violation string `json:"violation,omitempty"`
 }
@@ -67,6 +71,12 @@ type Summary struct {
 // running extra replays, up to 3*seeds in total.
 // progress, if non-nil, is called after every replay.
 func Explore(baseSeed uint64, seeds int, sc Scale, inject core.InjectedBug, progress func(done int, sum *Summary)) (*Summary, error) {
+	return ExploreOn(baseSeed, seeds, sc, inject, interconnect.Ideal, progress)
+}
+
+// ExploreOn is Explore with every replay routed over the chosen
+// interconnect topology (see ReplayOn).
+func ExploreOn(baseSeed uint64, seeds int, sc Scale, inject core.InjectedBug, topo interconnect.Kind, progress func(done int, sum *Summary)) (*Summary, error) {
 	sum := &Summary{}
 	orders := make(map[uint64]struct{}, seeds)
 	var s *Stream
@@ -76,7 +86,7 @@ func Explore(baseSeed uint64, seeds int, sc Scale, inject core.InjectedBug, prog
 			sum.Streams++
 		}
 		orderSeed := baseSeed ^ (uint64(i)*0x9e37_79b9 + 1)
-		rep, err := Replay(s, orderSeed, inject)
+		rep, err := ReplayOn(s, orderSeed, inject, topo)
 		if err != nil {
 			return sum, err
 		}
@@ -88,7 +98,8 @@ func Explore(baseSeed uint64, seeds int, sc Scale, inject core.InjectedBug, prog
 			sum.HWFailures++
 		}
 		if v := rep.Violation(); v != nil {
-			sum.Bad = &Reproducer{Stream: s, OrderSeed: orderSeed, Inject: inject, Violation: v.Error()}
+			sum.Bad = &Reproducer{Stream: s, OrderSeed: orderSeed, Inject: inject,
+				Topology: topo, Violation: v.Error()}
 			return sum, nil
 		}
 		if progress != nil {

@@ -11,7 +11,7 @@ func Minimize(r *Reproducer) *Reproducer {
 	cur := *r.Stream
 	cur.Accesses = append([]Access(nil), r.Stream.Accesses...)
 	stillFails := func(s *Stream) bool {
-		rep, err := Replay(s, r.OrderSeed, r.Inject)
+		rep, err := ReplayOn(s, r.OrderSeed, r.Inject, r.Topology)
 		return err == nil && rep.Violation() != nil
 	}
 	if !stillFails(&cur) {
@@ -51,7 +51,7 @@ func Minimize(r *Reproducer) *Reproducer {
 
 	min := cur
 	best.Stream = &min
-	if rep, err := Replay(&min, r.OrderSeed, r.Inject); err == nil {
+	if rep, err := ReplayOn(&min, r.OrderSeed, r.Inject, r.Topology); err == nil {
 		if v := rep.Violation(); v != nil {
 			best.Violation = v.Error()
 		}

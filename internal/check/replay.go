@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"specrt/internal/core"
+	"specrt/internal/interconnect"
 	"specrt/internal/machine"
 	"specrt/internal/mem"
 	"specrt/internal/sim"
@@ -54,11 +55,20 @@ func (r *Report) Violation() error {
 // (machine.MsgDelay). Two replays with the same stream and seed are
 // identical; different seeds explore different transaction interleavings.
 func Replay(s *Stream, orderSeed uint64, inject core.InjectedBug) (*Report, error) {
+	return ReplayOn(s, orderSeed, inject, interconnect.Ideal)
+}
+
+// ReplayOn is Replay with the deferred protocol messages routed over the
+// chosen interconnect topology, so the fuzzer also explores the delivery
+// timings a queued network produces. The seeded MsgDelay jitter composes
+// on top of the topology's latency (the larger of the two wins).
+func ReplayOn(s *Stream, orderSeed uint64, inject core.InjectedBug, topo interconnect.Kind) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	cfg := machine.DefaultConfig(s.Procs)
 	cfg.Contention = false
+	cfg.Net.Kind = topo
 	m := machine.MustNew(cfg)
 	c := core.NewController(m)
 	c.Inject = inject

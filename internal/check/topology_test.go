@@ -1,0 +1,124 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"specrt/internal/core"
+	"specrt/internal/interconnect"
+)
+
+// Satellite coverage for the interconnect model: invariant replay must
+// hold under every topology, and topology-specific reproducers must
+// round-trip and replay on the network they failed on.
+
+func TestReplayOnDeterministicPerTopology(t *testing.T) {
+	s := Generate(3, Scales[0])
+	for _, topo := range []interconnect.Kind{
+		interconnect.Ideal, interconnect.Bus, interconnect.Crossbar, interconnect.Mesh,
+	} {
+		a, err := ReplayOn(s, 42, core.InjectNone, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ReplayOn(s, 42, core.InjectNone, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.OrderHash != b.OrderHash || a.Transactions != b.Transactions || a.HWFailed != b.HWFailed {
+			t.Fatalf("%v: same stream and seed diverged: %+v vs %+v", topo, a, b)
+		}
+		if v := a.Violation(); v != nil {
+			t.Fatalf("%v: healthy protocol reported a violation: %v", topo, v)
+		}
+	}
+}
+
+func TestReplayMatchesReplayOnIdeal(t *testing.T) {
+	s := Generate(9, Scales[0])
+	a, err := Replay(s, 17, core.InjectNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplayOn(s, 17, core.InjectNone, interconnect.Ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OrderHash != b.OrderHash || a.Transactions != b.Transactions {
+		t.Fatalf("Replay and ReplayOn(ideal) diverge: %+v vs %+v", a, b)
+	}
+}
+
+func TestExploreOnCleanPerTopology(t *testing.T) {
+	for _, topo := range []interconnect.Kind{
+		interconnect.Bus, interconnect.Crossbar, interconnect.Mesh,
+	} {
+		sum, err := ExploreOn(11, 25, Scales[0], core.InjectNone, topo, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Bad != nil {
+			t.Fatalf("%v: violation on a healthy protocol: %s\n%s",
+				topo, sum.Bad.Violation, sum.Bad.Marshal())
+		}
+		if sum.Transactions == 0 {
+			t.Fatalf("%v: exploration observed no transactions", topo)
+		}
+	}
+}
+
+func TestExploreOnCatchesInjectedBugOnMesh(t *testing.T) {
+	sum, err := ExploreOn(7, 400, Scales[0], core.InjectFirstVsWriteFlip, interconnect.Mesh, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Bad == nil {
+		t.Fatal("injected bug survived mesh exploration")
+	}
+	if sum.Bad.Topology != interconnect.Mesh {
+		t.Fatalf("reproducer topology = %v, want mesh", sum.Bad.Topology)
+	}
+
+	// The reproducer round-trips through JSON with its topology and still
+	// replays to a violation on that topology.
+	out := sum.Bad.Marshal()
+	if !strings.Contains(string(out), `"topology": "mesh"`) {
+		t.Fatalf("marshalled reproducer lacks topology:\n%s", out)
+	}
+	parsed, err := ParseReproducer(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Topology != interconnect.Mesh {
+		t.Fatalf("parsed topology = %v, want mesh", parsed.Topology)
+	}
+	rep, err := ReplayOn(parsed.Stream, parsed.OrderSeed, parsed.Inject, parsed.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation() == nil {
+		t.Fatal("parsed mesh reproducer no longer reproduces a violation")
+	}
+
+	// Minimize preserves the violation on the reproducer's own topology.
+	minr := Minimize(sum.Bad)
+	rep2, err := ReplayOn(minr.Stream, minr.OrderSeed, minr.Inject, minr.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Violation() == nil {
+		t.Fatal("minimized mesh reproducer no longer reproduces a violation")
+	}
+}
+
+func TestReproducerTopologyDefaultsToIdeal(t *testing.T) {
+	// Reproducer files from before the interconnect model have no
+	// topology field and must parse as ideal.
+	r, err := ParseReproducer([]byte(`{"stream":{"procs":2,"elems":4,"elemSize":4,"accesses":[{"proc":0,"iter":0,"elem":0,"write":true}]},"orderSeed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Topology != interconnect.Ideal {
+		t.Fatalf("legacy reproducer topology = %v, want ideal", r.Topology)
+	}
+}

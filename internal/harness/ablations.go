@@ -237,6 +237,7 @@ func (h *Harness) Ablations(w io.Writer) {
 		func(w io.Writer) { h.PrintAblationAdaptive(w) },
 		func(w io.Writer) { h.PrintAblationWriteStall(w) },
 		func(w io.Writer) { h.PrintAblationDirectoryOccupancy(w) },
+		func(w io.Writer) { h.PrintAblationMeshContention(w) },
 	}
 	bufs := make([]bytes.Buffer, len(sections))
 	h.parallelMap(len(sections), func(i int) { sections[i](&bufs[i]) })

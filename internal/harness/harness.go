@@ -13,7 +13,9 @@ import (
 	"sync/atomic"
 	"text/tabwriter"
 
+	"specrt/internal/interconnect"
 	"specrt/internal/loops"
+	"specrt/internal/mem"
 	"specrt/internal/run"
 	"specrt/internal/stats"
 )
@@ -45,6 +47,14 @@ var Paper = Scale{Name: "paper", OceanExecs: 48, AdmExecs: 48, TrackExecs: 56, P
 // pool. It is safe for concurrent use.
 type Harness struct {
 	Scale Scale
+
+	// Topology and Placement apply to every simulated cell (the
+	// defaults — interconnect.Ideal, mem.RoundRobin — reproduce the
+	// paper's machine). Set them before the first Result call; cells
+	// are memoized per harness, so a harness models exactly one
+	// network/placement configuration.
+	Topology  interconnect.Kind
+	Placement mem.Placement
 
 	par int           // worker-pool size
 	sem chan struct{} // bounds concurrently running simulations
@@ -122,6 +132,8 @@ func (h *Harness) Result(name string, mode run.Mode, procs int) *run.Result {
 			Mode:          mode,
 			Contention:    true,
 			MaxExecutions: maxExec,
+			Topology:      h.Topology,
+			Placement:     h.Placement,
 		})
 		h.simulated.Add(1)
 	})
@@ -296,7 +308,8 @@ func (h *Harness) Fig13() Fig13Result {
 		if w.Name == "Ocean-fail" {
 			procs = 8
 		}
-		cfg := run.Config{Procs: procs, Contention: true}
+		cfg := run.Config{Procs: procs, Contention: true,
+			Topology: h.Topology, Placement: h.Placement}
 		switch slot {
 		case 0:
 			cfg.Procs, cfg.Mode = 1, run.Serial

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"specrt/internal/interconnect"
+	"specrt/internal/mem"
+	"specrt/internal/run"
+)
+
+// TestAblationMeshContention pins the acceptance criteria of the
+// interconnect model: under the mesh at least one configuration builds a
+// home queue deeper than one entry, the hotspot placement is the worst,
+// and the network stats surface in the CSV output.
+func TestAblationMeshContention(t *testing.T) {
+	h := New(Quick)
+	rows := h.AblationMeshContention()
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+
+	deepQueue := false
+	var rr, local *MeshRow
+	for i := range rows {
+		r := &rows[i]
+		if r.Net.MaxHomeQueue > 1 {
+			deepQueue = true
+		}
+		if r.Loop == "priv" {
+			switch r.Placement {
+			case mem.RoundRobin:
+				rr = r
+			case mem.Local:
+				local = r
+			}
+		}
+	}
+	if !deepQueue {
+		t.Error("no configuration built a home queue deeper than 1")
+	}
+	if rr == nil || local == nil {
+		t.Fatalf("missing priv rows: %+v", rows)
+	}
+	if local.Cycles <= rr.Cycles {
+		t.Errorf("hotspot placement not slower: local %d <= round-robin %d", local.Cycles, rr.Cycles)
+	}
+	if local.Net.MaxHomeQueue < rr.Net.MaxHomeQueue {
+		t.Errorf("hotspot home queue %d shallower than round-robin %d",
+			local.Net.MaxHomeQueue, rr.Net.MaxHomeQueue)
+	}
+	if rr.Net.Messages == 0 {
+		t.Error("priv round-robin routed no messages over the mesh")
+	}
+
+	var buf bytes.Buffer
+	if err := (MeshResult{Rows: rows}).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, col := range []string{"max_home_queue", "link_wait_mean", "home_stall_frac"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("CSV header missing %q:\n%s", col, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 5 {
+		t.Errorf("CSV has %d lines, want header + 4 rows", lines)
+	}
+}
+
+// TestHarnessTopologyOverride checks that a harness-wide topology reaches
+// the simulated cells: a mesh harness reports routed messages for a
+// parallel workload where the ideal harness reports none.
+func TestHarnessTopologyOverride(t *testing.T) {
+	ideal := New(Quick)
+	mesh := New(Quick)
+	mesh.Topology = interconnect.Mesh
+
+	ri := ideal.Result("P3m", run.HW, 16)
+	rm := mesh.Result("P3m", run.HW, 16)
+	if ri.NetStats.Messages != 0 {
+		t.Errorf("ideal harness routed %d messages", ri.NetStats.Messages)
+	}
+	if rm.NetStats.Messages == 0 {
+		t.Error("mesh harness routed no messages")
+	}
+}

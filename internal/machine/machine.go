@@ -19,8 +19,14 @@
 // stalling the processor (First_update, ROnly_update, read-first and
 // first-write signals) are instead *deferred*: they are scheduled as
 // engine events after the one-way network latency, so they genuinely race
-// with later accesses, exactly the races §3.2 discusses. The global
-// network itself is a constant per-hop latency, as in the paper.
+// with later accesses, exactly the races §3.2 discusses.
+//
+// Deferred messages and dirty-eviction traffic route through a pluggable
+// interconnect model (Config.Net): the default Ideal topology is the
+// paper's constant per-hop latency and reproduces it bit-for-bit, while
+// the bus, crossbar and mesh topologies add deterministic per-link FIFO
+// queueing (see package interconnect). Synchronous fills keep their
+// unloaded hop costs (Latencies) in every topology, as in the paper.
 package machine
 
 import (
@@ -29,6 +35,7 @@ import (
 	"specrt/internal/abits"
 	"specrt/internal/cache"
 	"specrt/internal/directory"
+	"specrt/internal/interconnect"
 	"specrt/internal/mem"
 	"specrt/internal/sim"
 )
@@ -79,6 +86,10 @@ type Config struct {
 	// retiring them into a write buffer. The paper's machine does not
 	// stall (§5.1); this knob exists for the ablation.
 	StallWrites bool
+	// Net selects the interconnect model for deferred protocol messages
+	// and writeback traffic. Net.Nodes is filled from Procs; the zero
+	// value is the Ideal (constant-hop) topology of the paper.
+	Net interconnect.Config
 }
 
 // DefaultConfig returns the paper's machine: 200-MHz processors with a
@@ -183,6 +194,11 @@ type Machine struct {
 	Home  []sim.Server
 	Stats Stats
 
+	// Net is the interconnect carrying deferred protocol messages and
+	// writeback traffic (see Config.Net). Read its Stats after a run;
+	// mutating it mid-run is not supported.
+	Net interconnect.Network
+
 	// OnDirtyWriteback, if set, receives the access bits of every dirty
 	// line that reaches its home (forced writebacks and evictions), so
 	// the speculation layer can merge tag state into its directory
@@ -261,9 +277,19 @@ func (m *Machine) putMsg(msg *pendingMsg) {
 // qIndex maps a (source, home) pair to its message-queue slot.
 func (m *Machine) qIndex(from, home int) int { return from*m.Cfg.Procs + home }
 
+// homeDepthRing bounds the per-home queue-depth ring (sim.Server
+// TrackDepth capacity). Depth counts saturate there; timing is unaffected.
+const homeDepthRing = 256
+
 // New builds a machine; the configuration must be valid.
 func New(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ncfg := cfg.Net
+	ncfg.Nodes = cfg.Procs
+	net, err := interconnect.New(ncfg)
+	if err != nil {
 		return nil, err
 	}
 	m := &Machine{
@@ -273,14 +299,49 @@ func New(cfg Config) (*Machine, error) {
 		Procs:     make([]*Proc, cfg.Procs),
 		Dirs:      make([]*directory.Directory, cfg.Procs),
 		Home:      make([]sim.Server, cfg.Procs),
+		Net:       net,
 		lineBytes: mem.Addr(cfg.L1.LineBytes),
 		msgq:      make([][]*pendingMsg, cfg.Procs*cfg.Procs),
 	}
 	for i := 0; i < cfg.Procs; i++ {
 		m.Procs[i] = &Proc{ID: i, L1: cache.New(cfg.L1), L2: cache.New(cfg.L2)}
 		m.Dirs[i] = directory.New(i)
+		m.Home[i].TrackDepth(homeDepthRing)
 	}
 	return m, nil
+}
+
+// HomeStats summarizes directory/memory-server queueing across all home
+// nodes: how often transactions serialized behind a busy home and the
+// deepest queue any home built.
+type HomeStats struct {
+	Requests   uint64
+	Stalls     uint64 // transactions that arrived at a busy home
+	BusyCycles sim.Time
+	WaitCycles sim.Time
+	// MaxQueueDepth is the deepest home queue observed (transactions in
+	// the system at an arrival; 1 = no queueing ever), and MaxQueueHome
+	// the home node where it occurred (-1 when no home was ever visited).
+	MaxQueueDepth int
+	MaxQueueHome  int
+}
+
+// HomeStats aggregates the per-home servers. Only meaningful with
+// Config.Contention (without it homes are never acquired).
+func (m *Machine) HomeStats() HomeStats {
+	hs := HomeStats{MaxQueueHome: -1}
+	for i := range m.Home {
+		h := &m.Home[i]
+		hs.Requests += h.Requests
+		hs.Stalls += h.Stalls
+		hs.BusyCycles += h.BusyCycles
+		hs.WaitCycles += h.WaitCycles
+		if h.MaxDepth > hs.MaxQueueDepth {
+			hs.MaxQueueDepth = h.MaxDepth
+			hs.MaxQueueHome = i
+		}
+	}
+	return hs
 }
 
 // MustNew is New for known-good configurations.

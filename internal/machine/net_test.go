@@ -1,0 +1,156 @@
+package machine
+
+import (
+	"testing"
+
+	"specrt/internal/interconnect"
+	"specrt/internal/mem"
+	"specrt/internal/sim"
+)
+
+// meshMachine builds a machine whose deferred messages route over the 2D
+// mesh.
+func meshMachine(t *testing.T, procs int) *Machine {
+	t.Helper()
+	cfg := DefaultConfig(procs)
+	cfg.Contention = false
+	cfg.Net.Kind = interconnect.Mesh
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDefaultNetIsIdeal(t *testing.T) {
+	m := testMachine(t, 4)
+	if m.Net.Kind() != interconnect.Ideal {
+		t.Fatalf("default topology = %v, want ideal", m.Net.Kind())
+	}
+	if m.Net.Stats() != (interconnect.Stats{}) {
+		t.Fatalf("ideal network reports stats: %+v", m.Net.Stats())
+	}
+}
+
+// TestMsgDelayClampSelfSend is the regression test for the self-send
+// clamp: a MsgDelay shorter than the hop latency must be clamped for
+// from == to exactly as for remote pairs, so jittered replays never
+// deliver a processor's message to its own home faster than the paper's
+// one-way hop.
+func TestMsgDelayClampSelfSend(t *testing.T) {
+	m := testMachine(t, 4)
+	arr := localArray(m, "a", 64, 4, 1) // homed at node 1
+	a := arr.ElemAddr(0)
+	m.MsgDelay = func(from, to int, base sim.Time) sim.Time { return base - 100 }
+
+	var at sim.Time
+	m.SendToHome(1, a, func() error { at = m.Eng.Now(); return nil }) // self-send: node 1 → home 1
+	m.Eng.Run()
+	if want := m.Cfg.Lat.MsgHop; at != want {
+		t.Fatalf("self-send delivered at %d, want clamped %d", at, want)
+	}
+
+	// And stretched self-sends still stretch.
+	m.MsgDelay = func(from, to int, base sim.Time) sim.Time { return base + 40 }
+	start := m.Eng.Now()
+	m.SendToHome(1, a, func() error { at = m.Eng.Now(); return nil })
+	m.Eng.Run()
+	if want := start + m.Cfg.Lat.MsgHop + 40; at != want {
+		t.Fatalf("stretched self-send at %d, want %d", at, want)
+	}
+}
+
+// TestMsgDelayClampIsPerPair verifies the clamp floor is the topology's
+// per-pair latency, not the flat hop cost: on the mesh a remote pair
+// further than base/hop links cannot be jittered below its unloaded
+// distance.
+func TestMsgDelayClampIsPerPair(t *testing.T) {
+	m := meshMachine(t, 16)
+	arr := localArray(m, "a", 64, 4, 15) // corner of the 4x4 grid
+	a := arr.ElemAddr(0)
+
+	floor := m.Net.MinLatency(0, 15, m.Cfg.Lat.MsgHop)
+	if floor <= m.Cfg.Lat.MsgHop {
+		t.Fatalf("test premise broken: mesh corner-to-corner floor %d <= flat %d",
+			floor, m.Cfg.Lat.MsgHop)
+	}
+
+	// A jitter below the mesh latency is clamped to it.
+	m.MsgDelay = func(from, to int, base sim.Time) sim.Time { return m.Cfg.Lat.MsgHop }
+	var at sim.Time
+	m.SendToHome(0, a, func() error { at = m.Eng.Now(); return nil })
+	m.Eng.Run()
+	if at != floor {
+		t.Fatalf("delivered at %d, want mesh floor %d", at, floor)
+	}
+
+	// A jitter above it wins.
+	m.MsgDelay = func(from, to int, base sim.Time) sim.Time { return base + 500 }
+	start := m.Eng.Now()
+	m.SendToHome(0, a, func() error { at = m.Eng.Now(); return nil })
+	m.Eng.Run()
+	if want := start + floor + 500; at != want {
+		t.Fatalf("stretched delivery at %d, want %d", at, want)
+	}
+}
+
+// TestMeshSelfSendKeepsFlatCost pins the topology contract: messages to
+// the local home never touch the network and keep the flat hop latency
+// under every topology.
+func TestMeshSelfSendKeepsFlatCost(t *testing.T) {
+	m := meshMachine(t, 16)
+	arr := localArray(m, "a", 64, 4, 3)
+	a := arr.ElemAddr(0)
+	var at sim.Time
+	m.SendToHome(3, a, func() error { at = m.Eng.Now(); return nil })
+	m.Eng.Run()
+	if want := m.Cfg.Lat.MsgHop; at != want {
+		t.Fatalf("mesh self-send at %d, want flat %d", at, want)
+	}
+	if st := m.Net.Stats(); st.Messages != 0 {
+		t.Fatalf("self-send was routed: %+v", st)
+	}
+}
+
+func TestMeshDeferredMessagesAreCounted(t *testing.T) {
+	m := meshMachine(t, 16)
+	arr := localArray(m, "a", 64, 4, 15)
+	a := arr.ElemAddr(0)
+	m.SendToHome(0, a, func() error { return nil })
+	m.SendToProc(0, a, func() error { return nil })
+	m.Eng.Run()
+	if st := m.Net.Stats(); st.Messages != 2 {
+		t.Fatalf("routed %d messages, want 2", st.Messages)
+	}
+}
+
+func TestHomeStatsObserveQueueing(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Contention = true
+	m := MustNew(cfg)
+	arr := m.Space.Alloc("a", 1024, 4, mem.Local, 2)
+
+	// Two misses to lines of the same home in the same cycle: the second
+	// serializes behind the first's directory occupancy.
+	m.Read(0, arr.ElemAddr(0))
+	m.Read(1, arr.ElemAddr(64))
+	hs := m.HomeStats()
+	if hs.Requests != 2 || hs.Stalls != 1 {
+		t.Fatalf("requests=%d stalls=%d, want 2/1", hs.Requests, hs.Stalls)
+	}
+	if hs.MaxQueueDepth != 2 || hs.MaxQueueHome != 2 {
+		t.Fatalf("max queue %d at home %d, want 2 at 2", hs.MaxQueueDepth, hs.MaxQueueHome)
+	}
+	if hs.WaitCycles == 0 || hs.BusyCycles == 0 {
+		t.Fatalf("no cycles accumulated: %+v", hs)
+	}
+}
+
+func TestHomeStatsEmpty(t *testing.T) {
+	m := testMachine(t, 4) // no contention: homes never acquired
+	m.Read(0, localArray(m, "a", 64, 4, 1).ElemAddr(0))
+	hs := m.HomeStats()
+	if hs.Requests != 0 || hs.MaxQueueHome != -1 {
+		t.Fatalf("uncontended machine has home stats: %+v", hs)
+	}
+}

@@ -80,7 +80,11 @@ func (m *Machine) writebackToHome(owner int, victim cache.Line) {
 	e := m.Dirs[h].Entry(victim.Tag)
 	e.ClearToUncached()
 	if m.Cfg.Contention {
-		m.Home[h].Acquire(m.Eng.Now()+m.Cfg.Lat.MsgHop, m.Cfg.Lat.HomeOccLine)
+		// The dirty line crosses the network to its home; msgLatency
+		// reserves the path (and applies MsgDelay) exactly as for
+		// deferred messages, reducing to the flat MsgHop on the Ideal
+		// topology.
+		m.Home[h].Acquire(m.Eng.Now()+m.msgLatency(owner, h), m.Cfg.Lat.HomeOccLine)
 	}
 	if m.OnDirtyWriteback != nil {
 		m.OnDirtyWriteback(owner, victim.Tag, victim.Bits)
@@ -96,18 +100,23 @@ func (m *Machine) notify(kind TxKind, proc int, line mem.Addr) {
 }
 
 // msgLatency returns the one-way latency of a deferred message from node
-// `from` to node `to`, after any MsgDelay perturbation. The perturbed
-// value never drops below the base hop latency, so a message cannot
-// arrive before it physically could.
+// `from` to node `to`: the interconnect's (possibly loaded) delivery
+// latency for the pair, after any MsgDelay perturbation. The perturbed
+// value is clamped to the network latency of *this* pair — self-sends
+// (from == to) included, whose floor can differ from a remote pair's
+// under non-ideal topologies — so a message can never arrive before it
+// physically could, and per-pair FIFO delivery is preserved. Under the
+// Ideal topology the network latency is exactly Lat.MsgHop, reproducing
+// the flat-hop model bit-for-bit.
 func (m *Machine) msgLatency(from, to int) sim.Time {
-	base := m.Cfg.Lat.MsgHop
+	lat := m.Net.Send(from, to, m.Eng.Now(), m.Cfg.Lat.MsgHop)
 	if m.MsgDelay == nil {
-		return base
+		return lat
 	}
-	if d := m.MsgDelay(from, to, base); d > base {
+	if d := m.MsgDelay(from, to, lat); d > lat {
 		return d
 	}
-	return base
+	return lat
 }
 
 // takeProcLine removes the line from p's caches and returns the freshest

@@ -25,8 +25,13 @@ const (
 	// RoundRobin interleaves pages across nodes (parallel runs).
 	RoundRobin Placement = iota
 	// Local places all pages of the region on a fixed node (serial runs,
-	// private per-processor data).
+	// private per-processor data, hotspot studies).
 	Local
+	// Blocked splits the region's pages into one contiguous block per
+	// node, node 0 first — the placement a first-touch allocator
+	// produces when each processor initializes its contiguous chunk of
+	// the array before the loop.
+	Blocked
 )
 
 func (p Placement) String() string {
@@ -35,8 +40,23 @@ func (p Placement) String() string {
 		return "round-robin"
 	case Local:
 		return "local"
+	case Blocked:
+		return "blocked"
 	}
 	return fmt.Sprintf("Placement(%d)", uint8(p))
+}
+
+// PlacementByName resolves a placement flag value.
+func PlacementByName(name string) (Placement, error) {
+	switch name {
+	case "round-robin", "rr", "interleaved", "":
+		return RoundRobin, nil
+	case "blocked", "block", "first-touch":
+		return Blocked, nil
+	case "local", "hotspot":
+		return Local, nil
+	}
+	return RoundRobin, fmt.Errorf("unknown placement %q (round-robin|blocked|local)", name)
 }
 
 // Region is a contiguous allocation holding an array.
@@ -132,6 +152,14 @@ func (s *Space) HomeNode(a Addr) int {
 		return r.node
 	}
 	pageInRegion := uint64(a-r.Base) / PageSize
+	if r.place == Blocked {
+		pages := (r.Bytes + PageSize - 1) / PageSize
+		node := int(pageInRegion * uint64(s.Nodes) / pages)
+		if node >= s.Nodes {
+			node = s.Nodes - 1
+		}
+		return node
+	}
 	return int(pageInRegion % uint64(s.Nodes))
 }
 

@@ -1,0 +1,66 @@
+package mem
+
+import "testing"
+
+func TestPlacementByName(t *testing.T) {
+	cases := []struct {
+		name string
+		want Placement
+	}{
+		{"round-robin", RoundRobin}, {"rr", RoundRobin}, {"interleaved", RoundRobin}, {"", RoundRobin},
+		{"blocked", Blocked}, {"block", Blocked}, {"first-touch", Blocked},
+		{"local", Local}, {"hotspot", Local},
+	}
+	for _, c := range cases {
+		got, err := PlacementByName(c.name)
+		if err != nil || got != c.want {
+			t.Errorf("PlacementByName(%q) = %v, %v; want %v", c.name, got, err, c.want)
+		}
+	}
+	if _, err := PlacementByName("striped"); err == nil {
+		t.Error("unknown placement accepted")
+	}
+}
+
+func TestBlockedPlacement(t *testing.T) {
+	s := NewSpace(4)
+	// 16 pages across 4 nodes: pages 0-3 on node 0, 4-7 on node 1, ...
+	r := s.Alloc("A", 16*PageSize/4, 4, Blocked, 0)
+	for page := 0; page < 16; page++ {
+		a := r.Base + Addr(page*PageSize)
+		want := page / 4
+		if got := s.HomeNode(a); got != want {
+			t.Errorf("page %d homed at %d, want %d", page, got, want)
+		}
+	}
+}
+
+func TestBlockedPlacementUnevenPages(t *testing.T) {
+	// 5 pages across 4 nodes: the split is proportional and every node
+	// index stays in range.
+	s := NewSpace(4)
+	r := s.Alloc("A", 5*PageSize/4, 4, Blocked, 0)
+	last := -1
+	for page := 0; page < 5; page++ {
+		got := s.HomeNode(r.Base + Addr(page*PageSize))
+		if got < 0 || got >= 4 {
+			t.Fatalf("page %d homed out of range: %d", page, got)
+		}
+		if got < last {
+			t.Fatalf("page %d homed at %d, below previous %d (blocks must be contiguous)", page, got, last)
+		}
+		last = got
+	}
+	// The final page lands on the last node.
+	if got := s.HomeNode(r.Base + Addr(4*PageSize)); got != 3 {
+		t.Errorf("last page homed at %d, want 3", got)
+	}
+}
+
+func TestBlockedSinglePageRegion(t *testing.T) {
+	s := NewSpace(8)
+	r := s.Alloc("A", 4, 4, Blocked, 0) // one page
+	if got := s.HomeNode(r.Base); got != 0 {
+		t.Errorf("single-page blocked region homed at %d, want 0", got)
+	}
+}

@@ -15,8 +15,10 @@ import (
 
 	"specrt/internal/core"
 	"specrt/internal/cpu"
+	"specrt/internal/interconnect"
 	"specrt/internal/lrpd"
 	"specrt/internal/machine"
+	"specrt/internal/mem"
 	"specrt/internal/sched"
 	"specrt/internal/sim"
 )
@@ -166,6 +168,19 @@ type Config struct {
 	// execution's drain. Simulation results are unchanged; the first
 	// violation is reported in Result.InvariantErr. Testing/CI use only.
 	CheckInvariants bool
+	// Topology selects the interconnect model carrying deferred protocol
+	// messages and writeback traffic. The default, interconnect.Ideal,
+	// is the paper's constant hop cost and reproduces the
+	// pre-interconnect simulator bit-for-bit; Bus, Crossbar and Mesh add
+	// deterministic per-link queueing (see package interconnect).
+	Topology interconnect.Kind
+	// Placement selects the home placement of the workload's shared
+	// arrays in parallel executions: mem.RoundRobin (the default; §5.2
+	// interleaves pages across memory modules), mem.Blocked (contiguous
+	// block per node, as first-touch allocation produces), or mem.Local
+	// (every page homed on node 0 — the hotspot case). Serial executions
+	// always place data local to the single processor.
+	Placement mem.Placement
 }
 
 // Result reports one Execute call.
@@ -207,6 +222,13 @@ type Result struct {
 	MachineStats machine.Stats
 	// CoreStats aggregates speculation-protocol events (HW mode only).
 	CoreStats core.Stats
+
+	// NetStats aggregates interconnect link traffic (all-zero under the
+	// Ideal topology, which models no links).
+	NetStats interconnect.Stats
+	// HomeQueue aggregates directory/memory-server queueing across home
+	// nodes (meaningful when Config.Contention is set).
+	HomeQueue machine.HomeStats
 }
 
 // MeanCyclesPerExec returns the average execution time of one loop
@@ -273,6 +295,8 @@ func Execute(w *Workload, cfg Config) (*Result, error) {
 	if s.ctl != nil {
 		res.CoreStats = s.ctl.Stats
 	}
+	res.NetStats = s.m.Net.Stats()
+	res.HomeQueue = s.m.HomeStats()
 	return res, nil
 }
 

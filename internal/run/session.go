@@ -59,6 +59,7 @@ func newSession(w *Workload, cfg Config) *session {
 	mcfg := machine.DefaultConfig(procs)
 	mcfg.Contention = cfg.Contention
 	mcfg.StallWrites = cfg.StallWrites
+	mcfg.Net.Kind = cfg.Topology
 	if cfg.HomeOccMultiplier > 1 {
 		mcfg.Lat.HomeOccLine *= cfg.HomeOccMultiplier
 		mcfg.Lat.HomeOccMsg *= cfg.HomeOccMultiplier
@@ -70,7 +71,7 @@ func newSession(w *Workload, cfg Config) *session {
 		s.procIDs = append(s.procIDs, p)
 	}
 
-	place := mem.RoundRobin
+	place := cfg.Placement
 	if cfg.Mode == Serial {
 		place = mem.Local
 	}
@@ -313,7 +314,8 @@ func (s *session) serialReexec(exec int) (sim.Time, cpu.Breakdown) {
 		Arrays:     s.w.Arrays,
 		Body:       func(_, iter int, c *Ctx) { s.w.Body(exec, iter, c) },
 	}
-	r := MustExecute(w1, Config{Procs: 1, Mode: Serial, Contention: s.cfg.Contention})
+	r := MustExecute(w1, Config{Procs: 1, Mode: Serial, Contention: s.cfg.Contention,
+		Topology: s.cfg.Topology})
 	return r.Cycles, r.Breakdown
 }
 

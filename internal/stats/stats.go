@@ -92,3 +92,47 @@ func Mean(xs []float64) float64 {
 	}
 	return s / float64(len(xs))
 }
+
+// NetReport condenses a run's interconnect and home-directory queueing
+// into the quantities the harness reports: how busy the links were, how
+// long messages queued for them, the deepest home-directory queue, and
+// how often transactions serialized behind a busy home.
+type NetReport struct {
+	// Messages routed over network links (0 on the ideal topology).
+	Messages uint64
+	// LinkBusyFrac is total link-busy cycles divided by the run's cycle
+	// count: the aggregate link occupancy (can exceed 1 with many links).
+	LinkBusyFrac float64
+	// LinkWaitMean is the cycles a routed message spent queued for
+	// links, on average.
+	LinkWaitMean float64
+	// MaxLinkQueue is the deepest per-link queue observed (1 = links
+	// always idle at arrival).
+	MaxLinkQueue int
+	// MaxHomeQueue is the deepest home-directory queue observed.
+	MaxHomeQueue int
+	// HomeStalls counts home transactions that serialized behind earlier
+	// work; HomeStallFrac divides by the home request count.
+	HomeStalls    uint64
+	HomeStallFrac float64
+}
+
+// Network derives the report from a run result.
+func Network(r *run.Result) NetReport {
+	n := NetReport{
+		Messages:     r.NetStats.Messages,
+		MaxLinkQueue: r.NetStats.MaxLinkQueue,
+		MaxHomeQueue: r.HomeQueue.MaxQueueDepth,
+		HomeStalls:   r.HomeQueue.Stalls,
+	}
+	if r.Cycles > 0 {
+		n.LinkBusyFrac = float64(r.NetStats.LinkBusy) / float64(r.Cycles)
+	}
+	if r.NetStats.Messages > 0 {
+		n.LinkWaitMean = float64(r.NetStats.LinkWait) / float64(r.NetStats.Messages)
+	}
+	if r.HomeQueue.Requests > 0 {
+		n.HomeStallFrac = float64(r.HomeQueue.Stalls) / float64(r.HomeQueue.Requests)
+	}
+	return n
+}

@@ -29,10 +29,13 @@ import (
 
 	"specrt/internal/core"
 	"specrt/internal/harness"
+	"specrt/internal/interconnect"
 	"specrt/internal/loops"
 	"specrt/internal/lrpd"
+	"specrt/internal/mem"
 	"specrt/internal/run"
 	"specrt/internal/sched"
+	"specrt/internal/stats"
 	"specrt/internal/trace"
 )
 
@@ -80,6 +83,42 @@ const (
 	Dynamic     = sched.Dynamic
 	BlockCyclic = sched.BlockCyclic
 )
+
+// Topology selects the interconnect model deferred protocol messages
+// route over (Config.Topology). TopoIdeal — the zero value — reproduces
+// the paper's flat hop cost bit-for-bit; the others add per-link FIFO
+// queueing.
+type Topology = interconnect.Kind
+
+// Interconnect topologies.
+const (
+	TopoIdeal    = interconnect.Ideal
+	TopoBus      = interconnect.Bus
+	TopoCrossbar = interconnect.Crossbar
+	TopoMesh     = interconnect.Mesh
+)
+
+// Placement selects how workload array pages spread across the nodes'
+// memory modules (Config.Placement).
+type Placement = mem.Placement
+
+// Page placements: round-robin interleaving (the paper's §5.2 default),
+// one contiguous block per node, and everything on node 0 (hotspot
+// studies).
+const (
+	PlaceRoundRobin = mem.RoundRobin
+	PlaceBlocked    = mem.Blocked
+	PlaceLocal      = mem.Local
+)
+
+// NetStats aggregates link-level queueing over a run (Result.NetStats).
+type NetStats = interconnect.Stats
+
+// NetReport condenses a run's network and home-directory queueing.
+type NetReport = stats.NetReport
+
+// NetworkReport derives the queueing report from a run result.
+func NetworkReport(r *Result) NetReport { return stats.Network(r) }
 
 // Execute simulates workload w under cfg.
 func Execute(w *Workload, cfg Config) (*Result, error) { return run.Execute(w, cfg) }
