@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -11,13 +12,14 @@ import (
 
 // compareResult is the outcome of one benchmark-vs-baseline comparison.
 type compareResult struct {
-	Name     string
-	Metric   string
-	Base     float64
-	Current  float64
-	Ratio    float64 // Current / Base
-	Regress  bool
-	BaseOnly bool // present in baseline but missing from the run
+	Name      string
+	Metric    string
+	Base      float64
+	Current   float64
+	Ratio     float64 // Current / Base
+	Tolerance float64 // allowed growth applied to this metric
+	Regress   bool
+	BaseOnly  bool // present in baseline but missing from the run
 }
 
 // parseTolerance accepts "25%", "0.25" or "25" (percent when > 1).
@@ -37,12 +39,16 @@ func parseTolerance(s string) (float64, error) {
 
 // compare checks the current snapshot against a committed baseline.
 // allocs/op is compared by default — it is deterministic across hosts —
-// while ns/op comparison (noisy on shared CI runners) is opt-in via -ns.
-// A benchmark regresses when current > base * (1 + tolerance); missing
-// benchmarks regress too (a deleted benchmark cannot vouch for its
-// performance). New benchmarks absent from the baseline are reported but
-// do not fail.
-func compare(snap *Snapshot, baselinePath string, tolerance float64, compareNs bool) (results []compareResult, regressed bool, err error) {
+// while ns/op comparison (noisy on shared CI runners) is opt-in via -ns
+// and gated by its own nsTolerance, so wall-clock noise margins can be
+// set independently of the exact allocation gate. A benchmark regresses
+// when current > base * (1 + tolerance); missing benchmarks regress too
+// (a deleted benchmark cannot vouch for its performance). New benchmarks
+// absent from the baseline are reported but do not fail. A non-nil match
+// restricts the comparison to baseline benchmarks whose name matches, so
+// a partial run (e.g. `go test -bench Fig11`) can be gated without every
+// unrun baseline entry counting as missing.
+func compare(snap *Snapshot, baselinePath string, tolerance, nsTolerance float64, compareNs bool, match *regexp.Regexp) (results []compareResult, regressed bool, err error) {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return nil, false, err
@@ -56,15 +62,15 @@ func compare(snap *Snapshot, baselinePath string, tolerance float64, compareNs b
 		cur[b.Name] = b
 	}
 
-	check := func(name, metric string, baseV, curV float64, missing bool) {
-		r := compareResult{Name: name, Metric: metric, Base: baseV, Current: curV, BaseOnly: missing}
+	check := func(name, metric string, baseV, curV, tol float64, missing bool) {
+		r := compareResult{Name: name, Metric: metric, Base: baseV, Current: curV, Tolerance: tol, BaseOnly: missing}
 		if missing {
 			r.Regress = true
 		} else {
 			if baseV > 0 {
 				r.Ratio = curV / baseV
 			}
-			r.Regress = curV > baseV*(1+tolerance)
+			r.Regress = curV > baseV*(1+tol)
 		}
 		if r.Regress {
 			regressed = true
@@ -73,16 +79,19 @@ func compare(snap *Snapshot, baselinePath string, tolerance float64, compareNs b
 	}
 
 	for _, bb := range base.Benchmarks {
+		if match != nil && !match.MatchString(bb.Name) {
+			continue
+		}
 		cb, ok := cur[bb.Name]
 		if !ok {
-			check(bb.Name, "allocs/op", bb.Metrics["allocs/op"], 0, true)
+			check(bb.Name, "allocs/op", bb.Metrics["allocs/op"], 0, tolerance, true)
 			continue
 		}
 		if baseAllocs, has := bb.Metrics["allocs/op"]; has {
-			check(bb.Name, "allocs/op", baseAllocs, cb.Metrics["allocs/op"], false)
+			check(bb.Name, "allocs/op", baseAllocs, cb.Metrics["allocs/op"], tolerance, false)
 		}
 		if compareNs && bb.NsPerOp > 0 {
-			check(bb.Name, "ns/op", bb.NsPerOp, cb.NsPerOp, false)
+			check(bb.Name, "ns/op", bb.NsPerOp, cb.NsPerOp, nsTolerance, false)
 		}
 	}
 	sort.Slice(results, func(i, j int) bool {
@@ -95,7 +104,7 @@ func compare(snap *Snapshot, baselinePath string, tolerance float64, compareNs b
 }
 
 // reportCompare prints the comparison and returns the exit code.
-func reportCompare(results []compareResult, tolerance float64) int {
+func reportCompare(results []compareResult) int {
 	code := 0
 	for _, r := range results {
 		switch {
@@ -104,7 +113,7 @@ func reportCompare(results []compareResult, tolerance float64) int {
 			code = 1
 		case r.Regress:
 			fmt.Printf("REGRESS  %-40s %-10s %12.1f -> %12.1f  (%.2fx, tolerance %.0f%%)\n",
-				r.Name, r.Metric, r.Base, r.Current, r.Ratio, tolerance*100)
+				r.Name, r.Metric, r.Base, r.Current, r.Ratio, r.Tolerance*100)
 			code = 1
 		default:
 			fmt.Printf("ok       %-40s %-10s %12.1f -> %12.1f  (%.2fx)\n",

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"testing"
 )
 
@@ -57,7 +58,7 @@ func TestParseTolerance(t *testing.T) {
 func TestCompareWithinTolerance(t *testing.T) {
 	base := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1000)}}
 	cur := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 500, 1200)}}
-	results, regressed, err := compare(cur, writeBaseline(t, base), 0.25, false)
+	results, regressed, err := compare(cur, writeBaseline(t, base), 0.25, 0.25, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestCompareWithinTolerance(t *testing.T) {
 func TestCompareAllocRegression(t *testing.T) {
 	base := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1000)}}
 	cur := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1300)}}
-	_, regressed, err := compare(cur, writeBaseline(t, base), 0.25, false)
+	_, regressed, err := compare(cur, writeBaseline(t, base), 0.25, 0.25, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +85,11 @@ func TestCompareAllocRegression(t *testing.T) {
 func TestCompareNsOnlyWhenAsked(t *testing.T) {
 	base := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1000)}}
 	cur := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 1000, 1000)}}
-	_, regressed, err := compare(cur, writeBaseline(t, base), 0.25, false)
+	_, regressed, err := compare(cur, writeBaseline(t, base), 0.25, 0.25, false, nil)
 	if err != nil || regressed {
 		t.Fatalf("10x ns/op failed the default allocs-only compare: %v", err)
 	}
-	_, regressed, err = compare(cur, writeBaseline(t, base), 0.25, true)
+	_, regressed, err = compare(cur, writeBaseline(t, base), 0.25, 0.25, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestCompareNsOnlyWhenAsked(t *testing.T) {
 func TestCompareMissingBenchmarkRegresses(t *testing.T) {
 	base := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1000), bench("BenchmarkGone", 1, 1)}}
 	cur := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1000)}}
-	results, regressed, err := compare(cur, writeBaseline(t, base), 0.25, false)
+	results, regressed, err := compare(cur, writeBaseline(t, base), 0.25, 0.25, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestCompareMissingBenchmarkRegresses(t *testing.T) {
 func TestCompareNewBenchmarkIgnored(t *testing.T) {
 	base := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1000)}}
 	cur := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1000), bench("BenchmarkNew", 1, 99999)}}
-	_, regressed, err := compare(cur, writeBaseline(t, base), 0.25, false)
+	_, regressed, err := compare(cur, writeBaseline(t, base), 0.25, 0.25, false, nil)
 	if err != nil || regressed {
 		t.Fatalf("new benchmark affected the verdict: %v", err)
 	}
@@ -135,11 +136,69 @@ func TestCompareAgainstSeedBaseline(t *testing.T) {
 	if err := json.Unmarshal(raw, &snap); err != nil {
 		t.Fatal(err)
 	}
-	_, regressed, err := compare(&snap, "../../BENCH_seed.json", 0.25, true)
+	_, regressed, err := compare(&snap, "../../BENCH_seed.json", 0.25, 0.25, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if regressed {
 		t.Fatal("seed baseline regresses against itself")
+	}
+}
+
+func TestCompareMatchRestrictsToSubset(t *testing.T) {
+	base := &Snapshot{Benchmarks: []Benchmark{
+		bench("BenchmarkFig11OceanHW", 100, 1000),
+		bench("BenchmarkTableLatencies", 100, 1000),
+	}}
+	// A partial run (only the Fig11 benchmarks were executed) must not
+	// count the unrun baseline entries as missing when -match scopes the
+	// comparison, but still gates the benchmarks it does cover.
+	cur := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkFig11OceanHW", 100, 1000)}}
+	results, regressed, err := compare(cur, writeBaseline(t, base), 0.25, 0.25, false, regexp.MustCompile("Fig11"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("scoped compare flagged the unrun subset: %+v", results)
+	}
+	if len(results) != 1 || results[0].Name != "BenchmarkFig11OceanHW" {
+		t.Fatalf("scoped compare covered %+v, want only BenchmarkFig11OceanHW", results)
+	}
+	cur.Benchmarks[0].Metrics["allocs/op"] = 2000
+	_, regressed, err = compare(cur, writeBaseline(t, base), 0.25, 0.25, false, regexp.MustCompile("Fig11"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("scoped compare missed a regression inside the subset")
+	}
+}
+
+func TestCompareIndependentNsTolerance(t *testing.T) {
+	base := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 100, 1000)}}
+	cur := &Snapshot{Benchmarks: []Benchmark{bench("BenchmarkA", 160, 1000)}}
+	// 60% ns/op growth: fails a 25% ns gate, passes a 100% one, and the
+	// tight allocs tolerance must not apply to ns/op.
+	results, regressed, err := compare(cur, writeBaseline(t, base), 0.0, 0.25, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("60% ns/op growth passed a 25% ns-tolerance")
+	}
+	for _, r := range results {
+		if r.Metric == "allocs/op" && r.Regress {
+			t.Fatalf("flat allocs/op regressed under zero tolerance: %+v", r)
+		}
+		if r.Metric == "ns/op" && r.Tolerance != 0.25 {
+			t.Fatalf("ns/op compared with tolerance %v, want 0.25", r.Tolerance)
+		}
+	}
+	_, regressed, err = compare(cur, writeBaseline(t, base), 0.0, 1.0, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("60% ns/op growth failed a 100% ns-tolerance")
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -45,10 +46,12 @@ type Snapshot struct {
 
 func main() {
 	baseline := flag.String("baseline", "", "compare against this committed snapshot instead of emitting JSON")
-	toleranceFlag := flag.String("tolerance", "25%", "allowed growth over the baseline before failing (e.g. 25%)")
+	toleranceFlag := flag.String("tolerance", "25%", "allowed allocs/op growth over the baseline before failing (e.g. 25%)")
 	compareNs := flag.Bool("ns", false, "also compare ns/op against the baseline (noisy on shared runners)")
+	nsToleranceFlag := flag.String("ns-tolerance", "25%", "allowed ns/op growth over the baseline before failing (with -ns)")
+	matchFlag := flag.String("match", "", "only compare baseline benchmarks matching this regexp (for partial -bench runs)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: go test -bench . -benchmem | %s [-baseline FILE [-tolerance PCT] [-ns]]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: go test -bench . -benchmem | %s [-baseline FILE [-tolerance PCT] [-ns [-ns-tolerance PCT]] [-match RE]]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -74,12 +77,24 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		results, _, err := compare(snap, *baseline, tol, *compareNs)
+		nsTol, err := parseTolerance(*nsToleranceFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		os.Exit(reportCompare(results, tol))
+		var match *regexp.Regexp
+		if *matchFlag != "" {
+			if match, err = regexp.Compile(*matchFlag); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: bad -match:", err)
+				os.Exit(2)
+			}
+		}
+		results, _, err := compare(snap, *baseline, tol, nsTol, *compareNs, match)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		os.Exit(reportCompare(results))
 	}
 
 	enc := json.NewEncoder(os.Stdout)

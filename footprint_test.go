@@ -1,0 +1,73 @@
+package specrt_test
+
+// Measured metadata footprint (paper §4): the hardware scheme keeps one
+// copy of each element's speculation state (at its home directory, plus
+// capacity-bounded tag bits in the caches), while the software LRPD test
+// keeps a full set of shadow arrays per processor. The numbers logged
+// here back the "Metadata footprint" table in EXPERIMENTS.md; regenerate
+// with:
+//
+//	go test -run TestMetadataFootprint -v .
+
+import (
+	"runtime"
+	"testing"
+
+	"specrt/internal/abits"
+	"specrt/internal/arena"
+	"specrt/internal/lrpd"
+)
+
+// allocBytes returns the bytes allocated by f. f returns its allocations
+// so they stay live across the measurement.
+func allocBytes(f func() any) float64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	keep := f()
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(keep)
+	return float64(after.TotalAlloc - before.TotalAlloc)
+}
+
+func TestMetadataFootprint(t *testing.T) {
+	const (
+		elems = 258 * 64 // Ocean's working set
+		procs = 8
+	)
+	rows := []struct {
+		name   string
+		copies int // per-processor structures are replicated
+		build  func() any
+	}{
+		{"HW non-priv table (First+NoShr+ROnly, epoch-tagged)", 1, func() any {
+			return arena.NewI32(elems, 0)
+		}},
+		{"HW priv read-in tables (MaxR1st+MinW, epoch-tagged)", 1, func() any {
+			return []any{arena.NewI32(elems, 0), arena.NewI32(elems, -1)}
+		}},
+		{"HW cache tag bits (1 word per 4 B, capacity-bounded)", 1, func() any {
+			return make([]abits.Word, elems)
+		}},
+		{"SW LRPD shadows (Ar/Aw/Anp + MinW/MaxR1st), per proc", procs, func() any {
+			s := make([]*lrpd.Shadows, procs)
+			for i := range s {
+				s[i] = lrpd.NewShadows(elems)
+			}
+			return s
+		}},
+	}
+	for _, r := range rows {
+		total := allocBytes(r.build)
+		perElem := total / elems
+		t.Logf("%-55s %9.0f B total  %6.2f B/elem", r.name, total, perElem)
+		// Sanity bounds: hardware state must stay O(1) bytes/element and
+		// the software shadows must scale with the processor count.
+		if r.copies == 1 && perElem > 20 {
+			t.Errorf("%s: %.2f B/elem, want <= 20 (dense single-copy state)", r.name, perElem)
+		}
+		if r.copies > 1 && perElem < 8*float64(r.copies) {
+			t.Errorf("%s: %.2f B/elem, want >= %d (per-processor shadows)", r.name, perElem, 8*r.copies)
+		}
+	}
+}

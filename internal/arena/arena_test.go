@@ -1,0 +1,178 @@
+package arena
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLineIndex(t *testing.T) {
+	if LineIndex(0x1000, 6) != 0x40 {
+		t.Fatalf("LineIndex(0x1000, 6) = %d", LineIndex(0x1000, 6))
+	}
+}
+
+func TestI32Basics(t *testing.T) {
+	s := NewI32(8, -1)
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Get(3) != -1 {
+		t.Fatalf("unset slot = %d, want default -1", s.Get(3))
+	}
+	s.Set(3, 42)
+	if s.Get(3) != 42 {
+		t.Fatalf("Get(3) = %d", s.Get(3))
+	}
+	s.Reset()
+	if s.Get(3) != -1 {
+		t.Fatalf("after Reset Get(3) = %d, want default", s.Get(3))
+	}
+	s.Set(3, 7)
+	if s.Get(3) != 7 {
+		t.Fatalf("set-after-Reset Get(3) = %d", s.Get(3))
+	}
+}
+
+func TestI32EpochWrap(t *testing.T) {
+	s := NewI32(2, 0)
+	s.Set(0, 9)
+	s.cur = ^uint32(0) // force the next Reset to wrap
+	s.Reset()
+	if s.cur != 1 {
+		t.Fatalf("cur after wrap = %d, want 1", s.cur)
+	}
+	// The old tag was rewritten to 0, so the stale value must not leak
+	// even though cur cycled back to a previously used epoch.
+	if s.Get(0) != 0 {
+		t.Fatalf("stale value leaked through epoch wrap: %d", s.Get(0))
+	}
+}
+
+func TestBitsBasics(t *testing.T) {
+	b := NewBits(130)
+	if b.Get(129) {
+		t.Fatal("fresh bit set")
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(129)
+	for _, i := range []int{0, 63, 64, 129} {
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Get(1) || b.Get(65) || b.Get(128) {
+		t.Fatal("unset bit reads true")
+	}
+	b.Reset()
+	for _, i := range []int{0, 63, 64, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d survived Reset", i)
+		}
+	}
+}
+
+func TestBitsForEachRangeOrdered(t *testing.T) {
+	b := NewBits(256)
+	want := []int{3, 63, 64, 100, 200, 255}
+	// Set in shuffled order; iteration must still come out ascending.
+	for _, i := range []int{200, 3, 255, 64, 100, 63} {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEachRange(0, 256, func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Sub-range boundaries are half-open and word-edge safe.
+	got = got[:0]
+	b.ForEachRange(63, 201, func(i int) { got = append(got, i) })
+	want = []int{63, 64, 100, 200}
+	if len(got) != len(want) {
+		t.Fatalf("sub-range got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sub-range got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitsEpochWrap(t *testing.T) {
+	b := NewBits(64)
+	b.Set(5)
+	b.cur = ^uint32(0)
+	b.Reset()
+	if b.Get(5) {
+		t.Fatal("stale bit leaked through epoch wrap")
+	}
+	b.Set(6)
+	if !b.Get(6) || b.Get(5) {
+		t.Fatal("post-wrap set wrong")
+	}
+}
+
+// Property: Bits agrees with a map across random Set/Reset sequences.
+func TestBitsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 200
+	b := NewBits(n)
+	ref := map[int]bool{}
+	for step := 0; step < 5000; step++ {
+		switch rng.Intn(10) {
+		case 0:
+			b.Reset()
+			ref = map[int]bool{}
+		default:
+			i := rng.Intn(n)
+			b.Set(i)
+			ref[i] = true
+		}
+		i := rng.Intn(n)
+		if b.Get(i) != ref[i] {
+			t.Fatalf("step %d: Get(%d) = %t, ref %t", step, i, b.Get(i), ref[i])
+		}
+	}
+	count := 0
+	b.ForEachRange(0, n, func(i int) {
+		count++
+		if !ref[i] {
+			t.Fatalf("ForEachRange visited unset bit %d", i)
+		}
+	})
+	if count != len(ref) {
+		t.Fatalf("ForEachRange visited %d bits, ref has %d", count, len(ref))
+	}
+}
+
+func TestI32MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 64
+	s := NewI32(n, -7)
+	ref := map[int]int32{}
+	for step := 0; step < 5000; step++ {
+		switch rng.Intn(12) {
+		case 0:
+			s.Reset()
+			ref = map[int]int32{}
+		default:
+			i, v := rng.Intn(n), int32(rng.Intn(100))
+			s.Set(i, v)
+			ref[i] = v
+		}
+		i := rng.Intn(n)
+		want, ok := ref[i]
+		if !ok {
+			want = -7
+		}
+		if s.Get(i) != want {
+			t.Fatalf("step %d: Get(%d) = %d, want %d", step, i, s.Get(i), want)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package cache
 
 import (
 	"fmt"
+	"sync"
 
 	"specrt/internal/abits"
 	"specrt/internal/mem"
@@ -73,13 +74,64 @@ type Stats struct {
 	Flushes    uint64
 }
 
-// Cache is a direct-mapped cache.
+// Cache is a direct-mapped cache. Access-bit words for all frames live
+// in one preallocated slab (one window of wpl words per frame, plus a
+// trailing scratch window that carries an evicted victim's bits while
+// its frame is being overwritten); slabs are recycled across machines
+// via a pool, so steady-state simulation does no per-line allocation.
 type Cache struct {
-	cfg   Config
-	sets  int
-	lines []Line
-	wpl   int // access-bit words per line
-	Stats Stats
+	cfg     Config
+	sets    int
+	lines   []Line
+	wpl     int // access-bit words per line
+	slab    []abits.Word
+	scratch []abits.Word // last window of the slab
+	Stats   Stats
+}
+
+// slabPool recycles access-bit slabs between cache instances, keyed by
+// slab length (pointer-boxed so Put does not allocate). linePool does
+// the same for the frame arrays. A mutex-guarded plain map is used
+// rather than sync.Map so the int key is not boxed on every lookup.
+var (
+	poolMu   sync.Mutex
+	slabPool = map[int]*sync.Pool{}
+	linePool = map[int]*sync.Pool{}
+)
+
+func poolFor(m map[int]*sync.Pool, size int) *sync.Pool {
+	poolMu.Lock()
+	p := m[size]
+	if p == nil {
+		p = &sync.Pool{}
+		m[size] = p
+	}
+	poolMu.Unlock()
+	return p
+}
+
+func getSlab(size int) []abits.Word {
+	if v := poolFor(slabPool, size).Get(); v != nil {
+		return *(v.(*[]abits.Word))
+	}
+	return make([]abits.Word, size)
+}
+
+func putSlab(s []abits.Word) {
+	poolFor(slabPool, len(s)).Put(&s)
+}
+
+func getLines(sets int) []Line {
+	if v := poolFor(linePool, sets).Get(); v != nil {
+		lines := *(v.(*[]Line))
+		clear(lines) // stale tags and Bits alias a released slab
+		return lines
+	}
+	return make([]Line, sets)
+}
+
+func putLines(lines []Line) {
+	poolFor(linePool, len(lines)).Put(&lines)
 }
 
 // New builds a cache; it panics on invalid configuration (a programming
@@ -89,13 +141,37 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	sets := cfg.SizeBytes / cfg.LineBytes
+	wpl := abits.WordsPerLine(cfg.LineBytes)
+	slab := getSlab((sets + 1) * wpl)
 	c := &Cache{
-		cfg:   cfg,
-		sets:  sets,
-		lines: make([]Line, sets),
-		wpl:   abits.WordsPerLine(cfg.LineBytes),
+		cfg:     cfg,
+		sets:    sets,
+		lines:   getLines(sets),
+		wpl:     wpl,
+		slab:    slab,
+		scratch: slab[sets*wpl : (sets+1)*wpl : (sets+1)*wpl],
 	}
 	return c
+}
+
+// window returns frame i's slice of the slab, capped so appends cannot
+// spill into the neighbouring frame's words.
+func (c *Cache) window(i int) []abits.Word {
+	return c.slab[i*c.wpl : (i+1)*c.wpl : (i+1)*c.wpl]
+}
+
+// Release returns the cache's slab and frame array to their pools. The
+// cache must not be used afterwards; call it once the owning machine is
+// done simulating.
+func (c *Cache) Release() {
+	if c.slab == nil {
+		return
+	}
+	putLines(c.lines)
+	c.lines = nil
+	putSlab(c.slab)
+	c.slab = nil
+	c.scratch = nil
 }
 
 // Config returns the cache geometry.
@@ -143,9 +219,18 @@ func (c *Cache) Probe(a mem.Addr) *Line {
 // frame it is returned as the victim.
 func (c *Cache) Install(a mem.Addr, st State, bits []abits.Word) (victim Line, evicted bool) {
 	line := c.LineAddr(a)
-	fr := &c.lines[c.set(line)]
+	set := c.set(line)
+	fr := &c.lines[set]
 	if fr.State != Invalid && fr.Tag != line {
 		victim, evicted = *fr, true
+		if victim.Bits != nil {
+			// The victim's Bits alias this frame's slab window, which the
+			// new line is about to overwrite; move them to the scratch
+			// window. The caller consumes the victim (writeback) before
+			// the next Install into this cache, so one scratch suffices.
+			copy(c.scratch, victim.Bits)
+			victim.Bits = c.scratch
+		}
 		c.Stats.Evictions++
 		if victim.State == Dirty {
 			c.Stats.Writebacks++
@@ -157,23 +242,37 @@ func (c *Cache) Install(a mem.Addr, st State, bits []abits.Word) (victim Line, e
 		if len(bits) != c.wpl {
 			panic(fmt.Sprintf("cache: bits len %d, want %d", len(bits), c.wpl))
 		}
-		// Fresh backing: the evicted victim's Bits may still reference
-		// the frame's old slice (it travels with the writeback), so the
-		// frame must not reuse it.
-		fr.Bits = append([]abits.Word(nil), bits...)
+		w := c.window(set)
+		copy(w, bits)
+		fr.Bits = w
 	} else {
 		fr.Bits = nil
 	}
 	return victim, evicted
 }
 
-// EnsureBits returns the line's access-bit slice, allocating a zeroed one
-// if the line was installed without bits.
+// EnsureBits returns the line's access-bit window, zeroing it if the
+// line was installed without bits.
 func (c *Cache) EnsureBits(fr *Line) []abits.Word {
 	if fr.Bits == nil {
-		fr.Bits = make([]abits.Word, c.wpl)
+		w := c.window(c.set(fr.Tag))
+		clear(w)
+		fr.Bits = w
 	}
 	return fr.Bits
+}
+
+// SetBits overwrites the line's access bits with a copy of bits,
+// claiming the frame's slab window if the line had none. It replaces
+// the fresh-slice append idiom the map era needed.
+func (c *Cache) SetBits(fr *Line, bits []abits.Word) {
+	if len(bits) != c.wpl {
+		panic(fmt.Sprintf("cache: bits len %d, want %d", len(bits), c.wpl))
+	}
+	if fr.Bits == nil {
+		fr.Bits = c.window(c.set(fr.Tag))
+	}
+	copy(fr.Bits, bits)
 }
 
 // Invalidate removes the line containing a if present, returning its prior

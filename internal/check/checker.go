@@ -193,7 +193,7 @@ func (k *Checker) checkCoherence(line mem.Addr) {
 		l1 := pr.L1.Lookup(line)
 		l2 := pr.L2.Lookup(line)
 		if l1 == nil && l2 == nil {
-			if st == directory.Dirty && e.Owner == pr.ID {
+			if st == directory.Dirty && int(e.Owner) == pr.ID {
 				k.fail("coh-dirty-owner-holds", "line %#x dir DIRTY owner %d holds no copy", line, e.Owner)
 			}
 			continue
@@ -209,7 +209,7 @@ func (k *Checker) checkCoherence(line mem.Addr) {
 				k.fail("coh-shared-recorded", "line %#x cached at proc %d missing from sharer set", line, pr.ID)
 			}
 		case directory.Dirty:
-			if e.Owner != pr.ID {
+			if int(e.Owner) != pr.ID {
 				k.fail("coh-dirty-exclusive", "line %#x dir DIRTY owner %d but cached at proc %d", line, e.Owner, pr.ID)
 			} else if !dirty {
 				k.fail("coh-dirty-owner-holds", "line %#x dir DIRTY but owner %d copy is clean", line, pr.ID)

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"specrt/internal/abits"
+	"specrt/internal/arena"
 	"specrt/internal/machine"
 	"specrt/internal/mem"
 	"specrt/internal/sim"
@@ -118,50 +119,75 @@ type Array struct {
 	Priv []mem.Region
 
 	// Non-privatization directory state per element (Figure 5-(a)):
-	// First (processor ID, -1 = NONE), NoShr, ROnly.
-	npFirst []int16
-	npNoShr []bool
-	npROnly []bool
+	// First (processor ID, NONE when unset), NoShr, ROnly — one packed
+	// directory word per element, exactly the per-element word the
+	// hardware tables of §4.1 hold. See npGet/npSet.
+	np *arena.I32
 
 	// Privatization shared-directory state per element (Figure 5-(c)).
-	maxR1st []int32
-	minW    []int32
+	maxR1st *arena.I32 // default 0 ("no read-first yet")
+	minW    *arena.I32 // default noIter ("never written")
 
-	// Privatization private-directory state per processor per element.
-	pMaxR1st [][]int32
-	pMaxW    [][]int32
+	// Privatization private-directory state, flattened per processor per
+	// element (index pIdx(p, e)).
+	pMaxR1st *arena.I32
+	pMaxW    *arena.I32
 
 	// Sticky cross-epoch summaries (timestamp-overflow support, §3.3;
-	// the WriteAny bit of §4.1). Allocated lazily by EpochSync.
-	touchedEver [][]bool
-	wroteEver   [][]bool
+	// the WriteAny bit of §4.1), flattened like pMaxR1st. Allocated
+	// lazily by EpochSync.
+	touchedEver *arena.Bits
+	wroteEver   *arena.Bits
 }
 
 // noIter is the MinW "never written" sentinel.
 const noIter = math.MaxInt32
 
-// reset clears all protocol state for a new speculative loop.
+// npFirst bit layout of the packed non-privatization word: the low byte
+// holds First+1 (0 = NONE; processor IDs are < 64), then the NoShr and
+// ROnly flags.
+const (
+	npNoShrBit = 1 << 8
+	npROnlyBit = 1 << 9
+)
+
+// npGet unpacks element e's directory word (First, NoShr, ROnly).
+func (a *Array) npGet(e int) (first int, noShr, rOnly bool) {
+	v := a.np.Get(e)
+	return int(v&0xff) - 1, v&npNoShrBit != 0, v&npROnlyBit != 0
+}
+
+// npSet writes element e's directory word in one store, mirroring the
+// hardware's read-modify-write of the per-element table word.
+func (a *Array) npSet(e, first int, noShr, rOnly bool) {
+	v := int32(first + 1)
+	if noShr {
+		v |= npNoShrBit
+	}
+	if rOnly {
+		v |= npROnlyBit
+	}
+	a.np.Set(e, v)
+}
+
+// pIdx flattens (processor, element) into the private-directory tables.
+func (a *Array) pIdx(p, e int) int { return p*a.Region.Elems + e }
+
+// reset clears all protocol state for a new speculative loop. Every
+// table is epoch-tagged, so this is O(1) regardless of array size.
 func (a *Array) reset() {
-	for i := range a.npFirst {
-		a.npFirst[i] = -1
-		a.npNoShr[i] = false
-		a.npROnly[i] = false
+	if a.np != nil {
+		a.np.Reset()
 	}
-	for i := range a.maxR1st {
-		a.maxR1st[i] = 0
-		a.minW[i] = noIter
+	if a.maxR1st != nil {
+		a.maxR1st.Reset()
+		a.minW.Reset()
+		a.pMaxR1st.Reset()
+		a.pMaxW.Reset()
 	}
-	for p := range a.pMaxR1st {
-		for i := range a.pMaxR1st[p] {
-			a.pMaxR1st[p][i] = 0
-			a.pMaxW[p][i] = 0
-		}
-	}
-	for p := range a.touchedEver {
-		for i := range a.touchedEver[p] {
-			a.touchedEver[p][i] = false
-			a.wroteEver[p][i] = false
-		}
+	if a.touchedEver != nil {
+		a.touchedEver.Reset()
+		a.wroteEver.Reset()
 	}
 }
 
@@ -192,6 +218,26 @@ type Controller struct {
 	// the interleaving fuzzer sets this, to prove the invariant checker
 	// catches broken race-resolution rules.
 	Inject InjectedBug
+
+	// lineBits is the scratch buffer home-visit handlers fill with the
+	// tag state of one line. The engine is single-threaded per machine
+	// and every handler's result is copied into cache windows before the
+	// next home visit, so one buffer suffices.
+	lineBits []abits.Word
+
+	// sigFree recycles the pooled arguments of in-flight home signals.
+	sigFree []*homeSig
+}
+
+// scratchLine returns the zeroed per-line scratch buffer.
+func (c *Controller) scratchLine() []abits.Word {
+	wpl := abits.WordsPerLine(c.M.LineBytes())
+	if cap(c.lineBits) < wpl {
+		c.lineBits = make([]abits.Word, wpl)
+	}
+	b := c.lineBits[:wpl]
+	clear(b)
+	return b
 }
 
 // grain maps an element to the element whose state it shares: itself at
@@ -227,13 +273,10 @@ func NewController(m *machine.Machine) *Controller {
 // AddNonPriv registers r for the non-privatization algorithm.
 func (c *Controller) AddNonPriv(r mem.Region) *Array {
 	a := &Array{
-		Region:  r,
-		Proto:   NonPriv,
-		npFirst: make([]int16, r.Elems),
-		npNoShr: make([]bool, r.Elems),
-		npROnly: make([]bool, r.Elems),
+		Region: r,
+		Proto:  NonPriv,
+		np:     arena.NewI32(r.Elems, 0),
 	}
-	a.reset()
 	c.arrays = append(c.arrays, a)
 	return a
 }
@@ -247,17 +290,14 @@ func (c *Controller) AddPriv(r mem.Region, rico bool) *Array {
 		Proto:    Priv,
 		RICO:     rico,
 		Priv:     make([]mem.Region, n),
-		maxR1st:  make([]int32, r.Elems),
-		minW:     make([]int32, r.Elems),
-		pMaxR1st: make([][]int32, n),
-		pMaxW:    make([][]int32, n),
+		maxR1st:  arena.NewI32(r.Elems, 0),
+		minW:     arena.NewI32(r.Elems, noIter),
+		pMaxR1st: arena.NewI32(n*r.Elems, 0),
+		pMaxW:    arena.NewI32(n*r.Elems, 0),
 	}
 	for p := 0; p < n; p++ {
 		a.Priv[p] = c.M.Space.Alloc(fmt.Sprintf("%s.priv%d", r.Name, p), r.Elems, r.ElemSize, mem.Local, p)
-		a.pMaxR1st[p] = make([]int32, r.Elems)
-		a.pMaxW[p] = make([]int32, r.Elems)
 	}
-	a.reset()
 	c.arrays = append(c.arrays, a)
 	return a
 }

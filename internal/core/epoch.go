@@ -1,5 +1,7 @@
 package core
 
+import "specrt/internal/arena"
+
 // Timestamp-overflow support (§3.3): "if the loop has so many iterations
 // that the time stamps would overflow, we synchronize all processors
 // periodically after a fixed number of iterations has been executed. At
@@ -33,25 +35,30 @@ func (c *Controller) EpochSync() {
 		if a.Proto != Priv {
 			continue
 		}
-		a.ensureEpochState(len(a.pMaxR1st))
-		for e := range a.maxR1st {
-			a.maxR1st[e] = 0
-			if a.minW[e] != noIter {
-				a.minW[e] = pastWrite
+		procs := len(a.Priv)
+		a.ensureEpochState(procs)
+		// MaxR1st resets wholesale; MinW saturates written elements only.
+		a.maxR1st.Reset()
+		for e := 0; e < a.Region.Elems; e++ {
+			if a.minW.Get(e) != noIter {
+				a.minW.Set(e, pastWrite)
 			}
 		}
-		for p := range a.pMaxR1st {
-			for e := range a.pMaxR1st[p] {
-				if a.pMaxR1st[p][e] != 0 || a.pMaxW[p][e] != 0 {
-					a.touchedEver[p][e] = true
+		// Fold the private stamps into the sticky summaries, then the
+		// epoch-tagged tables reset in O(1).
+		for p := 0; p < procs; p++ {
+			for e := 0; e < a.Region.Elems; e++ {
+				i := a.pIdx(p, e)
+				if a.pMaxR1st.Get(i) != 0 || a.pMaxW.Get(i) != 0 {
+					a.touchedEver.Set(i)
 				}
-				if a.pMaxW[p][e] != 0 {
-					a.wroteEver[p][e] = true
+				if a.pMaxW.Get(i) != 0 {
+					a.wroteEver.Set(i)
 				}
-				a.pMaxR1st[p][e] = 0
-				a.pMaxW[p][e] = 0
 			}
 		}
+		a.pMaxR1st.Reset()
+		a.pMaxW.Reset()
 	}
 	// Effective iteration numbers restart at 1.
 	for i := range c.curIter {
@@ -64,20 +71,16 @@ func (a *Array) ensureEpochState(procs int) {
 	if a.touchedEver != nil {
 		return
 	}
-	a.touchedEver = make([][]bool, procs)
-	a.wroteEver = make([][]bool, procs)
-	for p := 0; p < procs; p++ {
-		a.touchedEver[p] = make([]bool, a.Region.Elems)
-		a.wroteEver[p] = make([]bool, a.Region.Elems)
-	}
+	a.touchedEver = arena.NewBits(procs * a.Region.Elems)
+	a.wroteEver = arena.NewBits(procs * a.Region.Elems)
 }
 
 // pvTouchedEver reports whether p touched element e in a completed epoch.
 func (a *Array) pvTouchedEver(p, e int) bool {
-	return a.touchedEver != nil && a.touchedEver[p][e]
+	return a.touchedEver != nil && a.touchedEver.Get(a.pIdx(p, e))
 }
 
 // pvWroteEver reports whether p wrote element e in a completed epoch.
 func (a *Array) pvWroteEver(p, e int) bool {
-	return a.wroteEver != nil && a.wroteEver[p][e]
+	return a.wroteEver != nil && a.wroteEver.Get(a.pIdx(p, e))
 }

@@ -93,9 +93,9 @@ func TestEpochSyncResetsEffectiveIterations(t *testing.T) {
 	if e.c.curIter[0] != 0 {
 		t.Fatalf("curIter not reset: %d", e.c.curIter[0])
 	}
-	for p := range arr.pMaxR1st {
-		for i := range arr.pMaxR1st[p] {
-			if arr.pMaxR1st[p][i] != 0 || arr.pMaxW[p][i] != 0 {
+	for p := range arr.Priv {
+		for i := 0; i < arr.Region.Elems; i++ {
+			if r1, w := arr.PrivStamps(p, i); r1 != 0 || w != 0 {
 				t.Fatal("private timestamps survived EpochSync")
 			}
 		}

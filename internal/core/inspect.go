@@ -32,29 +32,29 @@ func (c *Controller) CurIter(p int) int { return int(c.curIter[p]) }
 // NPState returns the non-privatization directory state of element e:
 // the First processor (-1 = NONE) and the NoShr and ROnly flags.
 func (a *Array) NPState(e int) (first int, noShr, rOnly bool) {
-	return int(a.npFirst[e]), a.npNoShr[e], a.npROnly[e]
+	return a.npGet(e)
 }
 
 // SharedStamps returns the privatization shared-directory time stamps of
 // element e (MaxR1st, MinW; MinW == NoIter means never written).
 func (a *Array) SharedStamps(e int) (maxR1st, minW int32) {
-	return a.maxR1st[e], a.minW[e]
+	return a.maxR1st.Get(e), a.minW.Get(e)
 }
 
 // PrivStamps returns processor p's private-directory time stamps for
 // element e (PMaxR1st, PMaxW; zero means no read-first / no write yet).
 func (a *Array) PrivStamps(p, e int) (pMaxR1st, pMaxW int32) {
-	return a.pMaxR1st[p][e], a.pMaxW[p][e]
+	return a.pMaxR1st.Get(a.pIdx(p, e)), a.pMaxW.Get(a.pIdx(p, e))
 }
 
 // TouchedEver reports the sticky cross-epoch touched summary for
 // processor p and element e (false when epochs are not in use).
 func (a *Array) TouchedEver(p, e int) bool {
-	return a.touchedEver != nil && a.touchedEver[p][e]
+	return a.pvTouchedEver(p, e)
 }
 
 // WroteEver reports the sticky cross-epoch write summary for processor p
 // and element e (false when epochs are not in use).
 func (a *Array) WroteEver(p, e int) bool {
-	return a.wroteEver != nil && a.wroteEver[p][e]
+	return a.pvWroteEver(p, e)
 }

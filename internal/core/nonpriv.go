@@ -56,13 +56,14 @@ func (c *Controller) npRead(arr *Array, p int, a mem.Addr) (sim.Time, error) {
 				return nil, f
 			}
 		}
+		first, noShr, rOnly := arr.npGet(e)
 		switch {
-		case arr.npFirst[e] >= 0 && int(arr.npFirst[e]) != p && arr.npNoShr[e]:
+		case first >= 0 && first != p && noShr:
 			return nil, c.fail(FailReadOfWritten, arr, e, p, c.curIter[p])
-		case arr.npFirst[e] < 0:
-			arr.npFirst[e] = int16(p)
-		case int(arr.npFirst[e]) != p && !arr.npROnly[e]:
-			arr.npROnly[e] = true
+		case first < 0:
+			arr.npSet(e, p, noShr, rOnly)
+		case first != p && !rOnly:
+			arr.npSet(e, first, noShr, true)
 		}
 		return c.npLineBits(arr, p, line), nil
 	})
@@ -119,11 +120,11 @@ func (c *Controller) npHomeWrite(arr *Array, p, e int, a mem.Addr) machine.HomeV
 				return nil, f
 			}
 		}
-		if (arr.npFirst[e] >= 0 && int(arr.npFirst[e]) != p) || arr.npROnly[e] {
+		first, _, rOnly := arr.npGet(e)
+		if (first >= 0 && first != p) || rOnly {
 			return nil, c.fail(FailWriteOfShared, arr, e, p, c.curIter[p])
 		}
-		arr.npFirst[e] = int16(p)
-		arr.npNoShr[e] = true
+		arr.npSet(e, p, true, rOnly)
 		return c.npLineBits(arr, p, line), nil
 	}
 }
@@ -147,43 +148,44 @@ func (c *Controller) npMergeLine(arr *Array, owner int, line mem.Addr, bits []ab
 	var fail *Failure
 	for e := lo; e < hi; e++ {
 		w := bits[wordIndexOf(arr.Region, e, lb)]
+		first, noShr, rOnly := arr.npGet(e)
 		// Tag state with First == OTHER merely mirrors directory state
 		// the cache copied at fill time; only First == OWN tags carry
 		// new claims by this line's owner.
 		switch {
 		case w.First() == abits.FirstOwn && w.NoShr():
 			// Owner wrote the element while holding the line dirty.
-			if (arr.npFirst[e] >= 0 && int(arr.npFirst[e]) != owner) || arr.npROnly[e] {
+			if (first >= 0 && first != owner) || rOnly {
 				fail = c.fail(FailMergeConflict, arr, e, owner, c.curIter[owner])
 			}
-			arr.npFirst[e] = int16(owner)
-			arr.npNoShr[e] = true
+			arr.npSet(e, owner, true, rOnly)
 		case w.First() == abits.FirstOwn:
 			// Owner read the element first (its claim may have raced).
 			switch {
-			case arr.npFirst[e] < 0:
-				arr.npFirst[e] = int16(owner)
-			case int(arr.npFirst[e]) != owner:
-				if arr.npNoShr[e] {
+			case first < 0:
+				first = owner
+			case first != owner:
+				if noShr {
 					fail = c.fail(FailMergeConflict, arr, e, owner, c.curIter[owner])
 				}
-				arr.npROnly[e] = true
+				rOnly = true
 			}
 			if w.ROnly() {
 				// The owner also observed another reader.
-				arr.npROnly[e] = true
-				if arr.npNoShr[e] {
+				rOnly = true
+				if noShr {
 					fail = c.fail(FailMergeConflict, arr, e, owner, c.curIter[owner])
 				}
 			}
+			arr.npSet(e, first, noShr, rOnly)
 		case w.First() == abits.FirstOther && w.ROnly() && !w.NoShr():
 			// The owner read an element first accessed by another
 			// processor while the line was dirty (no update message was
 			// sent). If the element was written, that is a dependence.
-			if arr.npNoShr[e] {
+			if noShr {
 				fail = c.fail(FailMergeConflict, arr, e, owner, c.curIter[owner])
 			}
-			arr.npROnly[e] = true
+			arr.npSet(e, first, noShr, true)
 		}
 	}
 	return fail
@@ -193,19 +195,20 @@ func (c *Controller) npMergeLine(arr *Array, owner int, line mem.Addr, bits []ab
 // line, from requester p's point of view.
 func (c *Controller) npLineBits(arr *Array, p int, line mem.Addr) []abits.Word {
 	lb := c.M.LineBytes()
-	bits := make([]abits.Word, abits.WordsPerLine(lb))
+	bits := c.scratchLine()
 	lo, hi := elemsInLine(arr.Region, line, lb)
 	for e := lo; e < hi; e++ {
+		first, noShr, rOnly := arr.npGet(e)
 		var w abits.Word
 		switch {
-		case arr.npFirst[e] < 0:
+		case first < 0:
 			w = w.WithFirst(abits.FirstNone)
-		case int(arr.npFirst[e]) == p:
+		case first == p:
 			w = w.WithFirst(abits.FirstOwn)
 		default:
 			w = w.WithFirst(abits.FirstOther)
 		}
-		w = w.WithNoShr(arr.npNoShr[e]).WithROnly(arr.npROnly[e])
+		w = w.WithNoShr(noShr).WithROnly(rOnly)
 		bits[wordIndexOf(arr.Region, e, lb)] = w
 	}
 	return bits
@@ -217,30 +220,7 @@ func (c *Controller) npLineBits(arr *Array, p int, line mem.Addr) []abits.Word {
 // (Figure 7-(g)).
 func (c *Controller) sendFirstUpdate(arr *Array, p, e int) {
 	c.Stats.FirstUpdates++
-	gen := c.gen
-	addr := arr.Region.ElemAddr(e)
-	c.M.SendToHome(p, addr, func() error {
-		if c.gen != gen {
-			return nil // message from a finished loop
-		}
-		if arr.npNoShr[e] {
-			if c.Inject == InjectFirstVsWriteFlip {
-				// Deliberately broken rule (see InjectedBug): accept
-				// the racing First_update instead of raising FAIL.
-				arr.npROnly[e] = true
-				return nil
-			}
-			return c.fail(FailFirstVsWrite, arr, e, p, c.curIter[p])
-		}
-		switch {
-		case arr.npFirst[e] < 0:
-			arr.npFirst[e] = int16(p)
-		case int(arr.npFirst[e]) != p:
-			arr.npROnly[e] = true
-			c.sendFirstUpdateFail(arr, p, e)
-		}
-		return nil
-	})
+	c.M.SendToHomeArg(p, arr.Region.ElemAddr(e), runFirstUpdate, c.getSig(arr, p, e, 0))
 }
 
 // sendFirstUpdateFail bounces a First_update back to processor p
@@ -279,16 +259,5 @@ func (c *Controller) sendFirstUpdateFail(arr *Array, p, e int) {
 // 7-(h)). A second concurrent ROnly_update is plainly ignored.
 func (c *Controller) sendROnlyUpdate(arr *Array, p, e int) {
 	c.Stats.ROnlyUpdates++
-	gen := c.gen
-	addr := arr.Region.ElemAddr(e)
-	c.M.SendToHome(p, addr, func() error {
-		if c.gen != gen {
-			return nil
-		}
-		if arr.npNoShr[e] {
-			return c.fail(FailROnlyVsWrite, arr, e, p, c.curIter[p])
-		}
-		arr.npROnly[e] = true
-		return nil
-	})
+	c.M.SendToHomeArg(p, arr.Region.ElemAddr(e), runROnlyUpdate, c.getSig(arr, p, e, 0))
 }

@@ -98,7 +98,7 @@ func TestNPReadOnlySharingPasses(t *testing.T) {
 	if f := e.failed(); f != nil {
 		t.Fatalf("unexpected failure: %v", f)
 	}
-	if !arr.npROnly[0] {
+	if _, _, rOnly := arr.NPState(0); !rOnly {
 		t.Fatal("element 0 should be marked ROnly in the directory")
 	}
 }
@@ -297,8 +297,8 @@ func TestNPEvictionMergesState(t *testing.T) {
 	}
 	// The directory learned First=0, NoShr from the writeback.
 	arr := e.c.Arrays()[0]
-	if arr.npFirst[5] != 0 || !arr.npNoShr[5] {
-		t.Fatalf("directory state not merged: first=%d noShr=%t", arr.npFirst[5], arr.npNoShr[5])
+	if first, noShr, _ := arr.NPState(5); first != 0 || !noShr {
+		t.Fatalf("directory state not merged: first=%d noShr=%t", first, noShr)
 	}
 	err := e.read(t, 1, r, 5)
 	e.settle()

@@ -37,7 +37,7 @@ func (c *Controller) pvRead(arr *Array, p int, a mem.Addr) (sim.Time, error) {
 			if fr.State != cache.Dirty {
 				c.M.SyncBitsToL2(p, fr.Tag, bits)
 			}
-			arr.pMaxR1st[p][e] = iter
+			arr.pMaxR1st.Set(arr.pIdx(p, e), iter)
 			c.sendReadFirst(arr, p, e, iter)
 		}
 		return lat, nil
@@ -48,8 +48,7 @@ func (c *Controller) pvRead(arr *Array, p int, a mem.Addr) (sim.Time, error) {
 	readIn := false
 	lat, err := c.M.FetchRead(p, pa, func(wb *cache.Line, wbOwner int) ([]abits.Word, error) {
 		line := c.M.LineAddr(pa)
-		lb := c.M.LineBytes()
-		bits := make([]abits.Word, abits.WordsPerLine(lb))
+		bits := c.scratchLine()
 		if c.pvLineUntouched(arr, p, line) {
 			// A read-in: the protocol engine fetches the line of the
 			// shared array. The shared directory checks the request
@@ -62,19 +61,19 @@ func (c *Controller) pvRead(arr *Array, p int, a mem.Addr) (sim.Time, error) {
 			}
 			readIn = true
 			c.Stats.ReadIns++
-			if iter > arr.minW[e] {
+			if iter > arr.minW.Get(e) {
 				return nil, c.fail(FailReadFirstTooLate, arr, e, p, iter)
 			}
-			if iter > arr.maxR1st[e] {
-				arr.maxR1st[e] = iter
+			if iter > arr.maxR1st.Get(e) {
+				arr.maxR1st.Set(e, iter)
 			}
-			arr.pMaxR1st[p][e] = iter
+			arr.pMaxR1st.Set(arr.pIdx(p, e), iter)
 			bits[wi] = bits[wi].WithRead1st(true)
 			return bits, nil
 		}
-		if arr.pMaxR1st[p][e] < iter && arr.pMaxW[p][e] < iter {
+		if arr.pMaxR1st.Get(arr.pIdx(p, e)) < iter && arr.pMaxW.Get(arr.pIdx(p, e)) < iter {
 			// Read-first: signal the shared directory.
-			arr.pMaxR1st[p][e] = iter
+			arr.pMaxR1st.Set(arr.pIdx(p, e), iter)
 			c.sendReadFirst(arr, p, e, iter)
 			bits[wi] = bits[wi].WithRead1st(true)
 		}
@@ -125,14 +124,14 @@ func (c *Controller) pvWrite(arr *Array, p int, a mem.Addr) (sim.Time, error) {
 	readIn := false
 	wlat, err := c.M.FetchWrite(p, pa, func(wb *cache.Line, wbOwner int) ([]abits.Word, error) {
 		line := c.M.LineAddr(pa)
-		lb := c.M.LineBytes()
-		bits := make([]abits.Word, abits.WordsPerLine(lb))
+		bits := c.scratchLine()
+		pi := arr.pIdx(p, e)
 		switch {
-		case arr.pMaxW[p][e] == 0:
+		case arr.pMaxW.Get(pi) == 0:
 			if arr.pvWroteEver(p, e) {
 				// Written in a completed epoch: MinW is already
 				// saturated; no new signal needed.
-				arr.pMaxW[p][e] = iter
+				arr.pMaxW.Set(pi, iter)
 				break
 			}
 			// First write to the element in the whole loop.
@@ -143,19 +142,19 @@ func (c *Controller) pvWrite(arr *Array, p int, a mem.Addr) (sim.Time, error) {
 				// first-write (Figure 9-(j)).
 				readIn = true
 				c.Stats.ReadIns++
-				if iter < arr.maxR1st[e] {
+				if iter < arr.maxR1st.Get(e) {
 					return nil, c.fail(FailWriteTooEarly, arr, e, p, iter)
 				}
-				if iter < arr.minW[e] {
-					arr.minW[e] = iter
+				if iter < arr.minW.Get(e) {
+					arr.minW.Set(e, iter)
 				}
 			} else {
 				c.sendFirstWrite(arr, p, e, iter)
 			}
-			arr.pMaxW[p][e] = iter
-		case arr.pMaxW[p][e] < iter:
+			arr.pMaxW.Set(pi, iter)
+		case arr.pMaxW.Get(pi) < iter:
 			// First write to the element in this iteration.
-			arr.pMaxW[p][e] = iter
+			arr.pMaxW.Set(pi, iter)
 		}
 		bits[wi] = bits[wi].WithWrite(true)
 		return bits, nil
@@ -172,14 +171,15 @@ func (c *Controller) pvWrite(arr *Array, p int, a mem.Addr) (sim.Time, error) {
 // signal to the shared directory only for the very first write of this
 // processor to the element.
 func (c *Controller) pvPrivateFirstWrite(arr *Array, p, e int, iter int32) {
+	pi := arr.pIdx(p, e)
 	switch {
-	case arr.pMaxW[p][e] == 0:
-		arr.pMaxW[p][e] = iter
+	case arr.pMaxW.Get(pi) == 0:
+		arr.pMaxW.Set(pi, iter)
 		if !arr.pvWroteEver(p, e) {
 			c.sendFirstWrite(arr, p, e, iter)
 		}
-	case arr.pMaxW[p][e] < iter:
-		arr.pMaxW[p][e] = iter
+	case arr.pMaxW.Get(pi) < iter:
+		arr.pMaxW.Set(pi, iter)
 	}
 }
 
@@ -190,7 +190,8 @@ func (c *Controller) pvPrivateFirstWrite(arr *Array, p, e int, iter int32) {
 func (c *Controller) pvLineUntouched(arr *Array, p int, line mem.Addr) bool {
 	lo, hi := elemsInLine(arr.Priv[p], line, c.M.LineBytes())
 	for e := lo; e < hi; e++ {
-		if arr.pMaxR1st[p][e] != 0 || arr.pMaxW[p][e] != 0 || arr.pvTouchedEver(p, e) {
+		pi := arr.pIdx(p, e)
+		if arr.pMaxR1st.Get(pi) != 0 || arr.pMaxW.Get(pi) != 0 || arr.pvTouchedEver(p, e) {
 			return false
 		}
 	}
@@ -201,40 +202,14 @@ func (c *Controller) pvLineUntouched(arr *Array, p int, line mem.Addr) bool {
 // (handler: Figure 8-(d)) without stalling the processor.
 func (c *Controller) sendReadFirst(arr *Array, p, e int, iter int32) {
 	c.Stats.ReadFirstSignals++
-	gen := c.gen
-	addr := arr.Region.ElemAddr(e)
-	c.M.SendToHome(p, addr, func() error {
-		if c.gen != gen {
-			return nil
-		}
-		if iter > arr.minW[e] {
-			return c.fail(FailReadFirstTooLate, arr, e, p, iter)
-		}
-		if iter > arr.maxR1st[e] {
-			arr.maxR1st[e] = iter
-		}
-		return nil
-	})
+	c.M.SendToHomeArg(p, arr.Region.ElemAddr(e), runReadFirst, c.getSig(arr, p, e, iter))
 }
 
 // sendFirstWrite sends a first-write signal to the shared directory
 // (handler: Figure 9-(i)) without stalling the processor.
 func (c *Controller) sendFirstWrite(arr *Array, p, e int, iter int32) {
 	c.Stats.FirstWriteSignals++
-	gen := c.gen
-	addr := arr.Region.ElemAddr(e)
-	c.M.SendToHome(p, addr, func() error {
-		if c.gen != gen {
-			return nil
-		}
-		if iter < arr.maxR1st[e] {
-			return c.fail(FailWriteTooEarly, arr, e, p, iter)
-		}
-		if iter < arr.minW[e] {
-			arr.minW[e] = iter
-		}
-		return nil
-	})
+	c.M.SendToHomeArg(p, arr.Region.ElemAddr(e), runFirstWrite, c.getSig(arr, p, e, iter))
 }
 
 // CopyOut models the copy-out phase for a privatized array that is live
@@ -253,7 +228,7 @@ func (c *Controller) CopyOut(arr *Array, p int) sim.Time {
 	for e := 0; e < arr.Region.Elems; e += perLine {
 		wrote := false
 		for k := e; k < e+perLine && k < arr.Region.Elems; k++ {
-			if arr.pMaxW[p][k] > 0 || arr.pvWroteEver(p, k) {
+			if arr.pMaxW.Get(arr.pIdx(p, k)) > 0 || arr.pvWroteEver(p, k) {
 				wrote = true
 				break
 			}

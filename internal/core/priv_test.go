@@ -412,8 +412,8 @@ func TestArmResetsBetweenLoops(t *testing.T) {
 	e.c.Disarm()
 	e.m.FlushCaches()
 	e.c.Arm()
-	if arr.minW[1] != int32(1<<31-1) {
-		t.Fatalf("minW not reset: %d", arr.minW[1])
+	if _, minW := arr.SharedStamps(1); minW != int32(1<<31-1) {
+		t.Fatalf("minW not reset: %d", minW)
 	}
 	// Fresh loop: a read-first at iteration 1 passes.
 	e.c.BeginIteration(1, 1)

@@ -1,0 +1,119 @@
+package core
+
+// Deferred home-directory signals (First_update, ROnly_update, the
+// privatization read-first and first-write messages) are the hottest
+// send path of the hardware scheme: one fires for every new claim a
+// clean-line tag change makes. Each used to capture a fresh closure;
+// they now travel as a pooled homeSig argument plus a top-level handler
+// through machine.SendToHomeArg, so enqueueing a signal allocates
+// nothing in steady state. The handlers re-check the controller
+// generation at delivery, exactly as the closures did.
+
+// homeSig is the pooled argument of one in-flight signal.
+type homeSig struct {
+	c    *Controller
+	arr  *Array
+	p, e int
+	iter int32
+	gen  uint64
+}
+
+// getSig takes a signal slot from the controller's free list, stamped
+// with the current generation.
+func (c *Controller) getSig(arr *Array, p, e int, iter int32) *homeSig {
+	var s *homeSig
+	if n := len(c.sigFree); n > 0 {
+		s = c.sigFree[n-1]
+		c.sigFree = c.sigFree[:n-1]
+	} else {
+		s = &homeSig{}
+	}
+	*s = homeSig{c: c, arr: arr, p: p, e: e, iter: iter, gen: c.gen}
+	return s
+}
+
+// putSig retires a delivered signal slot.
+func (c *Controller) putSig(s *homeSig) {
+	s.arr = nil
+	c.sigFree = append(c.sigFree, s)
+}
+
+// runFirstUpdate is the home-side First_update handler (Figure 7-(f)); a
+// lost race bounces a First_update_fail back to the cache (Figure 7-(g)).
+func runFirstUpdate(x any) error {
+	s := x.(*homeSig)
+	c, arr, p, e, gen := s.c, s.arr, s.p, s.e, s.gen
+	c.putSig(s)
+	if c.gen != gen {
+		return nil // message from a finished loop
+	}
+	first, noShr, rOnly := arr.npGet(e)
+	if noShr {
+		if c.Inject == InjectFirstVsWriteFlip {
+			// Deliberately broken rule (see InjectedBug): accept
+			// the racing First_update instead of raising FAIL.
+			arr.npSet(e, first, noShr, true)
+			return nil
+		}
+		return c.fail(FailFirstVsWrite, arr, e, p, c.curIter[p])
+	}
+	switch {
+	case first < 0:
+		arr.npSet(e, p, noShr, rOnly)
+	case first != p:
+		arr.npSet(e, first, noShr, true)
+		c.sendFirstUpdateFail(arr, p, e)
+	}
+	return nil
+}
+
+// runROnlyUpdate is the home-side ROnly_update handler (Figure 7-(h)).
+func runROnlyUpdate(x any) error {
+	s := x.(*homeSig)
+	c, arr, p, e, gen := s.c, s.arr, s.p, s.e, s.gen
+	c.putSig(s)
+	if c.gen != gen {
+		return nil
+	}
+	first, noShr, _ := arr.npGet(e)
+	if noShr {
+		return c.fail(FailROnlyVsWrite, arr, e, p, c.curIter[p])
+	}
+	arr.npSet(e, first, noShr, true)
+	return nil
+}
+
+// runReadFirst is the shared-directory read-first handler (Figure 8-(d)).
+func runReadFirst(x any) error {
+	s := x.(*homeSig)
+	c, arr, p, e, iter, gen := s.c, s.arr, s.p, s.e, s.iter, s.gen
+	c.putSig(s)
+	if c.gen != gen {
+		return nil
+	}
+	if iter > arr.minW.Get(e) {
+		return c.fail(FailReadFirstTooLate, arr, e, p, iter)
+	}
+	if iter > arr.maxR1st.Get(e) {
+		arr.maxR1st.Set(e, iter)
+	}
+	return nil
+}
+
+// runFirstWrite is the shared-directory first-write handler
+// (Figure 9-(i)).
+func runFirstWrite(x any) error {
+	s := x.(*homeSig)
+	c, arr, p, e, iter, gen := s.c, s.arr, s.p, s.e, s.iter, s.gen
+	c.putSig(s)
+	if c.gen != gen {
+		return nil
+	}
+	if iter < arr.maxR1st.Get(e) {
+		return c.fail(FailWriteTooEarly, arr, e, p, iter)
+	}
+	if iter < arr.minW.Get(e) {
+		arr.minW.Set(e, iter)
+	}
+	return nil
+}

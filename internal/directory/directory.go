@@ -5,12 +5,20 @@
 // a set of caches, or dirty in exactly one cache. All coherence
 // transactions for a line serialize at its home directory, which is the
 // property the paper's speculation extensions rely on.
+//
+// Directory state is kept the way the paper's §4 overhead argument
+// assumes hardware keeps it: a dense table indexed by line index, not a
+// hash map keyed by address. All home nodes of one machine share a
+// single flat Table (a line is only ever looked up at its home node, so
+// the per-node directories partition the table by the entry's home tag),
+// and each Entry packs state+sharers+owner into 16 bytes. Entries are
+// epoch-tagged so Reset between loop executions is O(1).
 package directory
 
 import (
 	"fmt"
 	"math/bits"
-	"sort"
+	"sync"
 
 	"specrt/internal/mem"
 )
@@ -64,11 +72,14 @@ func (s Sharers) ForEach(fn func(p int)) {
 	}
 }
 
-// Entry is the directory state for one line.
+// Entry is the directory state for one line, packed to 16 bytes the way
+// a hardware directory word would be.
 type Entry struct {
+	Sharers Sharers // presence bitset
+	epoch   uint32  // live when == owning Table's current epoch
+	Owner   int16   // valid when State == Dirty
 	State   State
-	Sharers Sharers
-	Owner   int // valid when State == Dirty
+	home    uint8 // node whose Directory view created the entry
 }
 
 // Stats counts directory events at one node.
@@ -78,53 +89,144 @@ type Stats struct {
 	WritebackReqs uint64 // forced writebacks from dirty owners
 }
 
-// Directory holds entries for the lines homed at one node. Entries are
-// created lazily in the Uncached state.
-type Directory struct {
-	Node    int
-	entries map[mem.Addr]*Entry
-	Stats   Stats
+// Table is the flat directory storage shared by all home nodes of one
+// machine, indexed by dense line index (addr >> log2(lineBytes)). It
+// grows on demand as the simulated address space grows and is wiped in
+// O(1) by advancing its epoch.
+type Table struct {
+	shift   uint
+	cur     uint32
+	entries []Entry
 }
 
-// New creates the directory for node n.
-func New(n int) *Directory {
-	return &Directory{Node: n, entries: make(map[mem.Addr]*Entry)}
+// tablePool recycles table storage across machines. Epoch tagging makes
+// reuse safe without wiping: a recycled table advances its epoch, so
+// every entry of the previous owner reads as absent.
+var tablePool sync.Pool
+
+// NewTable creates an empty table for the given power-of-two line size,
+// reusing pooled storage when available.
+func NewTable(lineBytes int) *Table {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		panic(fmt.Sprintf("directory: line size %d is not a power of two", lineBytes))
+	}
+	shift := uint(bits.TrailingZeros(uint(lineBytes)))
+	if v := tablePool.Get(); v != nil {
+		t := v.(*Table)
+		t.shift = shift
+		t.Reset()
+		return t
+	}
+	return &Table{shift: shift, cur: 1}
 }
+
+// Release hands the table's storage back to the pool. The table (and
+// every Directory view of it) must not be used afterwards.
+func (t *Table) Release() { tablePool.Put(t) }
+
+// Reset invalidates every entry in O(1) by advancing the epoch.
+func (t *Table) Reset() {
+	t.cur++
+	if t.cur == 0 { // wrapped: stale epochs could alias the new one
+		clear(t.entries)
+		t.cur = 1
+	}
+}
+
+// Reserve grows the table so lines up to end (exclusive) need no further
+// reallocation. Optional: lookups grow the table on demand.
+func (t *Table) Reserve(end mem.Addr) { t.grow(int(end>>t.shift) + 1) }
+
+func (t *Table) grow(n int) {
+	if n <= len(t.entries) {
+		return
+	}
+	size := len(t.entries) * 2
+	if size < 1024 {
+		size = 1024
+	}
+	for size < n {
+		size *= 2
+	}
+	grown := make([]Entry, size)
+	copy(grown, t.entries)
+	t.entries = grown
+}
+
+// Directory is one home node's view of the shared table: the entries
+// whose lines are homed at Node. Entries are created lazily in the
+// Uncached state.
+type Directory struct {
+	Node  int
+	Stats Stats
+	t     *Table
+	count int
+}
+
+// New creates a standalone directory for node n with its own table,
+// using the default 64-byte line size. Views that should share storage
+// (the per-node directories of one machine) use NewShared instead.
+func New(n int) *Directory { return NewShared(n, NewTable(64)) }
+
+// NewShared creates node n's view of an existing table. All views
+// sharing a table must be Reset together (machine.FlushCaches does).
+func NewShared(n int, t *Table) *Directory { return &Directory{Node: n, t: t} }
 
 // Entry returns the entry for line-aligned address line, creating an
 // Uncached entry on first touch.
+//
+// The returned pointer is stable until the table grows (a lookup of a
+// line beyond the current high-water mark): callers must not hold it
+// across an Entry call for a previously unseen higher line.
 func (d *Directory) Entry(line mem.Addr) *Entry {
 	d.Stats.Lookups++
-	e := d.entries[line]
-	if e == nil {
-		e = &Entry{State: Uncached}
-		d.entries[line] = e
+	t := d.t
+	idx := int(line >> t.shift)
+	if idx >= len(t.entries) {
+		t.grow(idx + 1)
+	}
+	e := &t.entries[idx]
+	if e.epoch != t.cur {
+		*e = Entry{epoch: t.cur, home: uint8(d.Node)}
+		d.count++
 	}
 	return e
 }
 
 // Peek returns the entry without creating one.
-func (d *Directory) Peek(line mem.Addr) *Entry { return d.entries[line] }
-
-// Len returns the number of tracked lines.
-func (d *Directory) Len() int { return len(d.entries) }
-
-// Reset drops all entries (between loop executions the caches are flushed,
-// and the runtime resets directory coherence state to match).
-func (d *Directory) Reset() {
-	d.entries = make(map[mem.Addr]*Entry)
+func (d *Directory) Peek(line mem.Addr) *Entry {
+	t := d.t
+	idx := int(line >> t.shift)
+	if idx >= len(t.entries) || t.entries[idx].epoch != t.cur {
+		return nil
+	}
+	return &t.entries[idx]
 }
 
-// ForEach calls fn for every tracked line in increasing address order
-// (sorted so that walks are deterministic; used by invariant checkers).
+// Len returns the number of lines this view has tracked since the last
+// Reset of the shared table.
+func (d *Directory) Len() int { return d.count }
+
+// Reset drops all entries (between loop executions the caches are flushed,
+// and the runtime resets directory coherence state to match). With a
+// shared table this resets the whole table, so all sibling views must be
+// Reset in the same sweep.
+func (d *Directory) Reset() {
+	d.t.Reset()
+	d.count = 0
+}
+
+// ForEach calls fn for every line tracked by this view, in increasing
+// address order. The dense table makes the walk deterministic without
+// collecting and sorting keys: index order is address order.
 func (d *Directory) ForEach(fn func(line mem.Addr, e *Entry)) {
-	lines := make([]mem.Addr, 0, len(d.entries))
-	for line := range d.entries {
-		lines = append(lines, line)
-	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
-	for _, line := range lines {
-		fn(line, d.entries[line])
+	t := d.t
+	node := uint8(d.Node)
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.epoch == t.cur && e.home == node {
+			fn(mem.Addr(i)<<t.shift, e)
+		}
 	}
 }
 
@@ -137,7 +239,7 @@ func (e *Entry) AddSharer(p int) {
 // SetDirty transitions the entry for an exclusive fill by processor p.
 func (e *Entry) SetDirty(p int) {
 	e.State = Dirty
-	e.Owner = p
+	e.Owner = int16(p)
 	e.Sharers = 0
 }
 

@@ -1,0 +1,102 @@
+package directory
+
+import (
+	"fmt"
+	"sort"
+
+	"specrt/internal/mem"
+)
+
+// RefEntry is the reference directory's per-line state: the same
+// State/Sharers/Owner triple as Entry, without the dense table's packing
+// or epoch plumbing.
+type RefEntry struct {
+	State   State
+	Sharers Sharers
+	Owner   int
+}
+
+// Reference is the map-backed directory implementation the dense Table
+// replaced. It is retained for differential testing: drive both
+// implementations with the same transactions and assert entry-for-entry
+// equivalence (see internal/check and the directory tests).
+type Reference struct {
+	Node    int
+	entries map[mem.Addr]*RefEntry
+}
+
+// NewReference creates the reference directory for node n.
+func NewReference(n int) *Reference {
+	return &Reference{Node: n, entries: make(map[mem.Addr]*RefEntry)}
+}
+
+// Entry returns the entry for line, creating an Uncached one on first
+// touch, like Directory.Entry.
+func (r *Reference) Entry(line mem.Addr) *RefEntry {
+	e := r.entries[line]
+	if e == nil {
+		e = &RefEntry{State: Uncached}
+		r.entries[line] = e
+	}
+	return e
+}
+
+// Peek returns the entry without creating one.
+func (r *Reference) Peek(line mem.Addr) *RefEntry { return r.entries[line] }
+
+// Len returns the number of tracked lines.
+func (r *Reference) Len() int { return len(r.entries) }
+
+// Reset drops all entries.
+func (r *Reference) Reset() { r.entries = make(map[mem.Addr]*RefEntry) }
+
+// ForEach calls fn for every tracked line in increasing address order,
+// via the collect-and-sort walk the map layout forces.
+func (r *Reference) ForEach(fn func(line mem.Addr, e *RefEntry)) {
+	lines := make([]mem.Addr, 0, len(r.entries))
+	for line := range r.entries {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		fn(line, r.entries[line])
+	}
+}
+
+// AddSharer mirrors Entry.AddSharer.
+func (e *RefEntry) AddSharer(p int) {
+	e.Sharers = e.Sharers.Add(p)
+	e.State = Shared
+}
+
+// SetDirty mirrors Entry.SetDirty.
+func (e *RefEntry) SetDirty(p int) {
+	e.State = Dirty
+	e.Owner = p
+	e.Sharers = 0
+}
+
+// ClearToUncached mirrors Entry.ClearToUncached.
+func (e *RefEntry) ClearToUncached() {
+	e.State = Uncached
+	e.Sharers = 0
+	e.Owner = 0
+}
+
+// Matches reports whether the dense entry e and reference entry re agree,
+// treating a nil re as an implicitly Uncached line (the reference only
+// materializes touched lines, and an Uncached dense entry carries no
+// state worth distinguishing from absence).
+func Matches(e *Entry, re *RefEntry) error {
+	if re == nil {
+		if e.State != Uncached || e.Sharers != 0 {
+			return fmt.Errorf("dense entry %+v has state but reference has none", *e)
+		}
+		return nil
+	}
+	if e.State != re.State || e.Sharers != re.Sharers || int(e.Owner) != re.Owner {
+		return fmt.Errorf("dense {state %v sharers %b owner %d} != reference {state %v sharers %b owner %d}",
+			e.State, e.Sharers, e.Owner, re.State, re.Sharers, re.Owner)
+	}
+	return nil
+}

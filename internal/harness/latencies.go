@@ -24,6 +24,7 @@ func MeasureLatencies() []LatencyRow {
 	cfg := machine.DefaultConfig(4)
 	cfg.Contention = false
 	m := machine.MustNew(cfg)
+	defer m.Release() // hand cache slabs and the directory table back to their pools
 	local := m.Space.Alloc("local", 1024, 4, mem.Local, 0)
 	remote := m.Space.Alloc("remote", 1024, 4, mem.Local, 1)
 	third := m.Space.Alloc("third", 1024, 4, mem.Local, 2)

@@ -43,7 +43,7 @@ func (v *View[T]) beginIteration(iter int) {
 // flushAr commits pending read marks to Ar.
 func (v *View[T]) flushAr() {
 	for e := range v.pendingAr {
-		v.shadows.Ar[e] = true
+		v.shadows.Ar.Set(e)
 		delete(v.pendingAr, e)
 	}
 }
@@ -54,9 +54,9 @@ func (v *View[T]) Read(e int) T {
 	s := v.shadows
 	if !v.iterWritten[e] {
 		v.pendingAr[e] = true
-		s.Anp[e] = true
-		if s.MaxR1st[e] < v.iter+1 {
-			s.MaxR1st[e] = v.iter + 1
+		s.Anp.Set(e)
+		if s.MaxR1st[e] < int32(v.iter+1) {
+			s.MaxR1st[e] = int32(v.iter + 1)
 		}
 	}
 	if pv, ok := v.written[e]; ok {
@@ -68,13 +68,13 @@ func (v *View[T]) Read(e int) T {
 // Write stores val to element e privately and marks the write shadows.
 func (v *View[T]) Write(e int, val T) {
 	s := v.shadows
-	s.Aw[e] = true
+	s.Aw.Set(e)
 	delete(v.pendingAr, e)
 	if !v.iterWritten[e] {
 		v.iterWritten[e] = true
 		s.Atw++
-		if s.MinW[e] == 0 || v.iter+1 < s.MinW[e] {
-			s.MinW[e] = v.iter + 1
+		if s.MinW[e] == 0 || int32(v.iter+1) < s.MinW[e] {
+			s.MinW[e] = int32(v.iter + 1)
 		}
 	}
 	v.written[e] = privVal[T]{val: val, iter: v.iter + 1}

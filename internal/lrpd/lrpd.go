@@ -19,7 +19,12 @@
 //     own right.
 package lrpd
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
 
 // Op is one access to the array under test, recorded in program order.
 type Op struct {
@@ -54,38 +59,142 @@ func (v Verdict) String() string {
 	return fmt.Sprintf("Verdict(%d)", uint8(v))
 }
 
+// Bitset is a dense bit vector, the literal shadow-array layout of §2.2.2:
+// one bit per element of the array under test.
+type Bitset []uint64
+
+// NewBitset returns a cleared bitset covering n elements.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Get reports whether bit i is set.
+func (b Bitset) Get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Or folds other into b word-wise.
+func (b Bitset) Or(other Bitset) {
+	for i, w := range other {
+		b[i] |= w
+	}
+}
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// First returns the lowest set bit index, or -1 when the bitset is empty.
+func (b Bitset) First() int {
+	for wi, w := range b {
+		if w != 0 {
+			return wi*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// firstAnd returns the lowest index set in both b and other, or -1.
+func firstAnd(b, other Bitset) int {
+	for wi, w := range b {
+		if m := w & other[wi]; m != 0 {
+			return wi*64 + bits.TrailingZeros64(m)
+		}
+	}
+	return -1
+}
+
 // Shadows holds the marking-phase shadow arrays of §2.2.2 for inspection
-// and for the merging phase of the parallel implementation.
+// and for the merging phase of the parallel implementation. The bit
+// shadows (Ar, Aw, Anp) are stored one bit per element, as in the paper;
+// the read-in time stamps are one int32 per element.
 type Shadows struct {
-	Ar  []bool // read and not written in the same iteration
-	Aw  []bool // written
-	Anp []bool // read before any same-iteration write (non-privatizable)
+	n   int
+	Ar  Bitset // read and not written in the same iteration
+	Aw  Bitset // written
+	Anp Bitset // read before any same-iteration write (non-privatizable)
 	Atw int    // total (per-iteration distinct) elements written
 	// MinW and MaxR1st support the read-in extension (§2.2.3): lowest
 	// writing iteration and highest read-first iteration per element,
 	// using 1-based iterations; 0 means none.
-	MinW    []int
-	MaxR1st []int
+	MinW    []int32
+	MaxR1st []int32
+	// mark holds reusable marking-phase scratch state, allocated on the
+	// first Mark call and retained so that a Shadows reset and reused
+	// across executions marks without allocating.
+	mark *markScratch
 }
 
 // NewShadows allocates zeroed shadow arrays for an array of n elements.
 func NewShadows(n int) *Shadows {
 	return &Shadows{
-		Ar:      make([]bool, n),
-		Aw:      make([]bool, n),
-		Anp:     make([]bool, n),
-		MinW:    make([]int, n),
-		MaxR1st: make([]int, n),
+		n:       n,
+		Ar:      NewBitset(n),
+		Aw:      NewBitset(n),
+		Anp:     NewBitset(n),
+		MinW:    make([]int32, n),
+		MaxR1st: make([]int32, n),
 	}
 }
 
+// Len returns the number of elements the shadows cover.
+func (s *Shadows) Len() int { return s.n }
+
+// shadowsPool recycles Shadows (with their marking scratch) across
+// users, keyed by element count, so short-lived sessions don't regrow
+// the bucket and stamp arrays on every run. A mutex-guarded plain map
+// is used rather than sync.Map so the int key is not boxed per lookup.
+var (
+	shadowsPoolMu sync.Mutex
+	shadowsPool   = map[int]*sync.Pool{}
+)
+
+func shadowsPoolFor(n int) *sync.Pool {
+	shadowsPoolMu.Lock()
+	p := shadowsPool[n]
+	if p == nil {
+		p = &sync.Pool{}
+		shadowsPool[n] = p
+	}
+	shadowsPoolMu.Unlock()
+	return p
+}
+
+// GetShadows returns reset shadow arrays for n elements, reusing pooled
+// storage when available.
+func GetShadows(n int) *Shadows {
+	if v := shadowsPoolFor(n).Get(); v != nil {
+		s := v.(*Shadows)
+		s.Reset()
+		return s
+	}
+	return NewShadows(n)
+}
+
+// PutShadows hands s back to the pool; s must not be used afterwards.
+func PutShadows(s *Shadows) { shadowsPoolFor(s.n).Put(s) }
+
+// Reset clears the shadows for reuse, keeping the marking scratch.
+func (s *Shadows) Reset() {
+	clear(s.Ar)
+	clear(s.Aw)
+	clear(s.Anp)
+	clear(s.MinW)
+	clear(s.MaxR1st)
+	s.Atw = 0
+}
+
 // Merge folds other into s (the merging phase: private shadow arrays are
-// merged into the global ones).
+// merged into the global ones). The bit shadows merge word-wise.
 func (s *Shadows) Merge(other *Shadows) {
-	for i := range s.Ar {
-		s.Ar[i] = s.Ar[i] || other.Ar[i]
-		s.Aw[i] = s.Aw[i] || other.Aw[i]
-		s.Anp[i] = s.Anp[i] || other.Anp[i]
+	s.Ar.Or(other.Ar)
+	s.Aw.Or(other.Aw)
+	s.Anp.Or(other.Anp)
+	for i := range s.MinW {
 		if other.MinW[i] != 0 && (s.MinW[i] == 0 || other.MinW[i] < s.MinW[i]) {
 			s.MinW[i] = other.MinW[i]
 		}
@@ -96,22 +205,72 @@ func (s *Shadows) Merge(other *Shadows) {
 	s.Atw += other.Atw
 }
 
+// markScratch is the reusable grouping and per-iteration state of the
+// marking phase. The per-iteration "written in this iteration" /
+// "written so far" / "read first" sets are stamp arrays: a slot belongs
+// to the current iteration only when it holds the current stamp, so
+// starting a new iteration is one counter increment instead of a map
+// allocation.
+type markScratch struct {
+	wIter    []int32 // stamp: element written somewhere in this iteration
+	wSoFar   []int32 // stamp: element written before this point
+	rFirst   []int32 // stamp: element already read-first in this iteration
+	stamp    int32
+	groupIdx map[int]int // iteration -> bucket, in first-seen order
+	buckets  [][]Op
+}
+
+// scratch returns the lazily-allocated marking scratch.
+func (s *Shadows) scratch() *markScratch {
+	if s.mark == nil {
+		s.mark = &markScratch{
+			wIter:    make([]int32, s.n),
+			wSoFar:   make([]int32, s.n),
+			rFirst:   make([]int32, s.n),
+			groupIdx: make(map[int]int),
+		}
+	}
+	return s.mark
+}
+
+// nextStamp advances the iteration stamp, clearing the stamp arrays on
+// the (practically unreachable) int32 wrap.
+func (m *markScratch) nextStamp() int32 {
+	if m.stamp == math.MaxInt32 {
+		clear(m.wIter)
+		clear(m.wSoFar)
+		clear(m.rFirst)
+		m.stamp = 0
+	}
+	m.stamp++
+	return m.stamp
+}
+
 // Mark runs the marking phase over ops. Accesses of one iteration must
 // appear in program order relative to each other, but iterations may
 // interleave arbitrarily (as they do in a parallel execution, or after
 // the processor-wise super-iteration mapping): ops are grouped by
-// iteration before marking.
+// iteration before marking. The group buckets are retained and reused
+// across calls.
 func (s *Shadows) Mark(ops []Op) {
-	groups := make(map[int][]Op)
-	var order []int
+	m := s.scratch()
+	clear(m.groupIdx)
+	used := 0
 	for _, op := range ops {
-		if _, seen := groups[op.Iter]; !seen {
-			order = append(order, op.Iter)
+		gi, ok := m.groupIdx[op.Iter]
+		if !ok {
+			if used == len(m.buckets) {
+				m.buckets = append(m.buckets, nil)
+			}
+			m.buckets[used] = m.buckets[used][:0]
+			gi = used
+			m.groupIdx[op.Iter] = gi
+			used++
 		}
-		groups[op.Iter] = append(groups[op.Iter], op)
+		m.buckets[gi] = append(m.buckets[gi], op)
 	}
-	for _, iter := range order {
-		s.markIteration(groups[iter])
+	for i := 0; i < used; i++ {
+		s.markIteration(m.buckets[i])
 	}
 }
 
@@ -120,43 +279,43 @@ func (s *Shadows) markIteration(ops []Op) {
 	if len(ops) == 0 {
 		return
 	}
-	iter := ops[0].Iter
-	// writtenInIter: elements written anywhere in this iteration
-	// (needed for the "neither before nor after" read condition).
-	writtenInIter := make(map[int]bool)
+	m := s.scratch()
+	stamp := m.nextStamp()
+	iter := int32(ops[0].Iter)
+	// wIter: elements written anywhere in this iteration (needed for the
+	// "neither before nor after" read condition).
+	written := 0
 	for _, op := range ops {
-		if op.Write {
-			writtenInIter[op.Elem] = true
+		if op.Write && m.wIter[op.Elem] != stamp {
+			m.wIter[op.Elem] = stamp
+			written++
 		}
 	}
-	writtenSoFar := make(map[int]bool)
-	readFirst := make(map[int]bool)
 	for _, op := range ops {
+		e := op.Elem
 		if op.Write {
-			s.Aw[op.Elem] = true
-			if !writtenSoFar[op.Elem] {
-				writtenSoFar[op.Elem] = true
-			}
-			if s.MinW[op.Elem] == 0 || iter+1 < s.MinW[op.Elem] {
-				s.MinW[op.Elem] = iter + 1
+			s.Aw.Set(e)
+			m.wSoFar[e] = stamp
+			if s.MinW[e] == 0 || iter+1 < s.MinW[e] {
+				s.MinW[e] = iter + 1
 			}
 			continue
 		}
 		// Read.
-		if !writtenInIter[op.Elem] {
-			s.Ar[op.Elem] = true
+		if m.wIter[e] != stamp {
+			s.Ar.Set(e)
 		}
-		if !writtenSoFar[op.Elem] {
-			s.Anp[op.Elem] = true
-			if !readFirst[op.Elem] {
-				readFirst[op.Elem] = true
-				if iter+1 > s.MaxR1st[op.Elem] {
-					s.MaxR1st[op.Elem] = iter + 1
+		if m.wSoFar[e] != stamp {
+			s.Anp.Set(e)
+			if m.rFirst[e] != stamp {
+				m.rFirst[e] = stamp
+				if iter+1 > s.MaxR1st[e] {
+					s.MaxR1st[e] = iter + 1
 				}
 			}
 		}
 	}
-	s.Atw += len(writtenInIter)
+	s.Atw += written
 }
 
 // Result is the outcome of the analysis phase.
@@ -175,21 +334,15 @@ type Result struct {
 // privatized (enabling steps d-e).
 func Analyze(s *Shadows, privatized bool) Result {
 	res := Result{Atw: s.Atw, FailedElem: -1}
-	for i := range s.Aw {
-		if s.Aw[i] {
-			res.Atm++
-		}
-	}
+	res.Atm = s.Aw.Count()
 	// (b) any(Aw && Ar): an element written in one iteration and read
-	// (without writing) in another — flow or anti dependence.
-	for i := range s.Aw {
-		if s.Aw[i] && s.Ar[i] {
-			res.FailedElem = i
-			if !privatized {
-				res.Verdict = NotParallel
-				return res
-			}
-			break
+	// (without writing) in another — flow or anti dependence. A word-wise
+	// AND scan over the bit shadows.
+	if i := firstAnd(s.Aw, s.Ar); i >= 0 {
+		res.FailedElem = i
+		if !privatized {
+			res.Verdict = NotParallel
+			return res
 		}
 	}
 	if res.FailedElem == -1 && res.Atw == res.Atm {
@@ -208,12 +361,10 @@ func Analyze(s *Shadows, privatized bool) Result {
 	}
 	// (d) any(Aw && Anp): an element read before being written and also
 	// written — not privatizable.
-	for i := range s.Aw {
-		if s.Aw[i] && s.Anp[i] {
-			res.FailedElem = i
-			res.Verdict = NotParallel
-			return res
-		}
+	if i := firstAnd(s.Aw, s.Anp); i >= 0 {
+		res.FailedElem = i
+		res.Verdict = NotParallel
+		return res
 	}
 	// (e) privatization made the loop a doall.
 	res.FailedElem = -1
@@ -228,12 +379,7 @@ func firstCollision(s *Shadows) int {
 	// Atw counts per-iteration distinct writes; if it exceeds Atm some
 	// element was written in two iterations, but the bit shadows alone
 	// cannot identify it. Report the first written element.
-	for i := range s.Aw {
-		if s.Aw[i] {
-			return i
-		}
-	}
-	return -1
+	return s.Aw.First()
 }
 
 // AnalyzeWithReadIn runs the extended analysis of §2.2.3: a loop is still
@@ -246,7 +392,7 @@ func AnalyzeWithReadIn(s *Shadows) Result {
 	if res.Verdict != NotParallel {
 		return res
 	}
-	for i := range s.Aw {
+	for i := range s.MaxR1st {
 		if s.MaxR1st[i] != 0 && s.MinW[i] != 0 && s.MaxR1st[i] > s.MinW[i] {
 			return Result{Verdict: NotParallel, Atm: res.Atm, Atw: res.Atw, FailedElem: i}
 		}

@@ -29,13 +29,13 @@ func TestFigure2(t *testing.T) {
 	wantAw := []bool{false, true, false, true}
 	wantAr := []bool{true, true, true, true}
 	for i := 0; i < 4; i++ {
-		if s.Aw[i] != wantAw[i] {
-			t.Fatalf("Aw[%d] = %t, want %t", i, s.Aw[i], wantAw[i])
+		if s.Aw.Get(i) != wantAw[i] {
+			t.Fatalf("Aw[%d] = %t, want %t", i, s.Aw.Get(i), wantAw[i])
 		}
-		if s.Ar[i] != wantAr[i] {
-			t.Fatalf("Ar[%d] = %t, want %t", i, s.Ar[i], wantAr[i])
+		if s.Ar.Get(i) != wantAr[i] {
+			t.Fatalf("Ar[%d] = %t, want %t", i, s.Ar.Get(i), wantAr[i])
 		}
-		if !s.Anp[i] {
+		if !s.Anp.Get(i) {
 			t.Fatalf("Anp[%d] = false, want true", i)
 		}
 	}
@@ -162,8 +162,8 @@ func TestMergeShadows(t *testing.T) {
 	a.Mark([]Op{{Iter: 0, Elem: 0, Write: true}})
 	b.Mark([]Op{{Iter: 1, Elem: 0, Write: true}, {Iter: 1, Elem: 2}})
 	a.Merge(b)
-	if !a.Aw[0] || !a.Ar[2] || a.Atw != 2 {
-		t.Fatalf("merged shadows wrong: Aw0=%t Ar2=%t Atw=%d", a.Aw[0], a.Ar[2], a.Atw)
+	if !a.Aw.Get(0) || !a.Ar.Get(2) || a.Atw != 2 {
+		t.Fatalf("merged shadows wrong: Aw0=%t Ar2=%t Atw=%d", a.Aw.Get(0), a.Ar.Get(2), a.Atw)
 	}
 	if a.MinW[0] != 1 {
 		t.Fatalf("merged MinW[0] = %d, want 1", a.MinW[0])

@@ -194,6 +194,10 @@ type Machine struct {
 	Home  []sim.Server
 	Stats Stats
 
+	// DirTable is the dense directory storage shared by all home-node
+	// views in Dirs (one flat table, partitioned by home tag).
+	DirTable *directory.Table
+
 	// Net is the interconnect carrying deferred protocol messages and
 	// writeback traffic (see Config.Net). Read its Stats after a run;
 	// mutating it mid-run is not supported.
@@ -243,9 +247,12 @@ type Machine struct {
 // pendingMsg is one in-flight deferred protocol message. gen increments on
 // every recycle so that an arrival event scheduled for a previous use of
 // the slot recognizes itself as stale. from and line identify the message
-// for the OnTransaction hook.
+// for the OnTransaction hook. The handler is a (fn, arg) pair rather
+// than a closure so that hot senders can pass a top-level function and a
+// pooled argument without allocating.
 type pendingMsg struct {
-	fn   func() error
+	fn   func(arg any) error
+	arg  any
 	from int
 	line mem.Addr
 	done bool
@@ -253,22 +260,24 @@ type pendingMsg struct {
 }
 
 // getMsg takes a message slot from the pool (or allocates one).
-func (m *Machine) getMsg(from int, line mem.Addr, fn func() error) *pendingMsg {
+func (m *Machine) getMsg(from int, line mem.Addr, fn func(any) error, arg any) *pendingMsg {
 	if n := len(m.msgPool); n > 0 {
 		msg := m.msgPool[n-1]
 		m.msgPool = m.msgPool[:n-1]
 		msg.fn = fn
+		msg.arg = arg
 		msg.from = from
 		msg.line = line
 		msg.done = false
 		return msg
 	}
-	return &pendingMsg{fn: fn, from: from, line: line}
+	return &pendingMsg{fn: fn, arg: arg, from: from, line: line}
 }
 
 // putMsg retires a delivered (or discarded) message slot into the pool.
 func (m *Machine) putMsg(msg *pendingMsg) {
 	msg.fn = nil
+	msg.arg = nil
 	msg.done = true
 	msg.gen++
 	m.msgPool = append(m.msgPool, msg)
@@ -300,15 +309,30 @@ func New(cfg Config) (*Machine, error) {
 		Dirs:      make([]*directory.Directory, cfg.Procs),
 		Home:      make([]sim.Server, cfg.Procs),
 		Net:       net,
+		DirTable:  directory.NewTable(cfg.L1.LineBytes),
 		lineBytes: mem.Addr(cfg.L1.LineBytes),
 		msgq:      make([][]*pendingMsg, cfg.Procs*cfg.Procs),
 	}
 	for i := 0; i < cfg.Procs; i++ {
 		m.Procs[i] = &Proc{ID: i, L1: cache.New(cfg.L1), L2: cache.New(cfg.L2)}
-		m.Dirs[i] = directory.New(i)
+		m.Dirs[i] = directory.NewShared(i, m.DirTable)
 		m.Home[i].TrackDepth(homeDepthRing)
 	}
 	return m, nil
+}
+
+// Release returns the caches' access-bit slabs and the directory table
+// to their pools. The machine must not simulate afterwards; call it
+// once its final stats have been collected.
+func (m *Machine) Release() {
+	for _, p := range m.Procs {
+		p.L1.Release()
+		p.L2.Release()
+	}
+	if m.DirTable != nil {
+		m.DirTable.Release()
+		m.DirTable = nil
+	}
 }
 
 // HomeStats summarizes directory/memory-server queueing across all home
@@ -392,7 +416,7 @@ func (m *Machine) FlushCaches() {
 			if fr := l2.Lookup(l.Tag); fr != nil {
 				fr.State = cache.Dirty
 				if l.Bits != nil {
-					fr.Bits = append([]abits.Word(nil), l.Bits...)
+					l2.SetBits(fr, l.Bits)
 				}
 			} else if m.OnDirtyWriteback != nil {
 				m.OnDirtyWriteback(owner, l.Tag, l.Bits)

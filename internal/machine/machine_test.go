@@ -520,7 +520,7 @@ func TestPropertyCoherenceConsistency(t *testing.T) {
 					return false
 				}
 				for p := range dirtyProcs {
-					if e.Owner != p {
+					if int(e.Owner) != p {
 						return false
 					}
 				}
@@ -554,7 +554,7 @@ func TestPropertyCoherenceConsistency(t *testing.T) {
 					// clean holder is the recorded owner after an L1->
 					// L2 fold. Accept only owner-held copies.
 					for _, h := range hs {
-						if h.proc != e.Owner {
+						if h.proc != int(e.Owner) {
 							return false
 						}
 					}

@@ -39,7 +39,7 @@ func (m *Machine) installL1(p int, line mem.Addr, st cache.State, bits []abits.W
 				l2fr.State = cache.Dirty
 			}
 			if victim.Bits != nil {
-				l2fr.Bits = append(l2fr.Bits[:0], victim.Bits...)
+				pr.L2.SetBits(l2fr, victim.Bits)
 			}
 		} else if victim.State == cache.Dirty {
 			m.writebackToHome(p, victim)
@@ -186,11 +186,11 @@ func (m *Machine) FetchRead(p int, a mem.Addr, atHome HomeVisitFn) (sim.Time, er
 	var wb *cache.Line
 	wbOwner := -1
 	threeHop := false
-	if e.State == directory.Dirty && e.Owner != p {
+	if e.State == directory.Dirty && int(e.Owner) != p {
 		// Send writeback request to owner node; owner keeps a Clean copy.
 		m.Stats.Writebacks++
 		m.Dirs[h].Stats.WritebackReqs++
-		owner := e.Owner
+		owner := int(e.Owner)
 		if old, ok := m.downgradeProcLine(owner, line); ok {
 			wb = &old
 			wbOwner = owner
@@ -245,12 +245,12 @@ func (m *Machine) FetchWrite(p int, a mem.Addr, atHome HomeVisitFn) (sim.Time, e
 			m.takeProcLine(s, line)
 		})
 	case directory.Dirty:
-		if e.Owner != p {
+		if int(e.Owner) != p {
 			m.Stats.Writebacks++
 			m.Dirs[h].Stats.WritebackReqs++
-			if old, ok := m.takeProcLine(e.Owner, line); ok {
+			if old, ok := m.takeProcLine(int(e.Owner), line); ok {
 				wb = &old
-				wbOwner = e.Owner
+				wbOwner = int(e.Owner)
 			}
 			threeHop = true
 		}
@@ -361,10 +361,20 @@ func (m *Machine) WriteProcLatency(lat sim.Time) sim.Time {
 // same home while messages are in flight, the messages are delivered
 // first (DrainMessages).
 func (m *Machine) SendToHome(from int, a mem.Addr, fn func() error) {
+	m.SendToHomeArg(from, a, callNoArg, fn)
+}
+
+// callNoArg adapts a plain closure to the (fn, arg) message form.
+func callNoArg(x any) error { return x.(func() error)() }
+
+// SendToHomeArg is SendToHome with the handler split into a function and
+// its argument. Senders on the hot path pass a top-level function and a
+// pooled argument, so enqueueing a message allocates nothing.
+func (m *Machine) SendToHomeArg(from int, a mem.Addr, fn func(any) error, arg any) {
 	m.Stats.Messages++
 	h := m.HomeOf(a)
 	idx := m.qIndex(from, h)
-	msg := m.getMsg(from, m.LineAddr(a), fn)
+	msg := m.getMsg(from, m.LineAddr(a), fn, arg)
 	gen := msg.gen
 	m.msgq[idx] = append(m.msgq[idx], msg)
 	m.Eng.Schedule(m.msgLatency(from, h), func() {
@@ -396,9 +406,9 @@ func (m *Machine) deliverThrough(idx int, msg *pendingMsg) {
 		// removes the message from its queue before retiring it.
 		last := head == msg
 		head.done = true
-		fn, from, line := head.fn, head.from, head.line
+		fn, arg, from, line := head.fn, head.arg, head.from, head.line
 		m.putMsg(head)
-		if err := fn(); err != nil && m.OnFail != nil {
+		if err := fn(arg); err != nil && m.OnFail != nil {
 			m.OnFail(err)
 		}
 		m.notify(TxHomeMsg, from, line)
@@ -427,12 +437,12 @@ func (m *Machine) DrainMessages(p, h int) {
 		// Queued entries are always undelivered (delivery always pops
 		// first), so each is retired exactly once here.
 		msg.done = true
-		fn, from, line := msg.fn, msg.from, msg.line
+		fn, arg, from, line := msg.fn, msg.arg, msg.from, msg.line
 		m.putMsg(msg)
 		if m.Cfg.Contention {
 			m.Home[h].Acquire(m.Eng.Now(), m.Cfg.Lat.HomeOccMsg)
 		}
-		if err := fn(); err != nil && m.OnFail != nil {
+		if err := fn(arg); err != nil && m.OnFail != nil {
 			m.OnFail(err)
 		}
 		m.notify(TxHomeMsg, from, line)
@@ -471,6 +481,6 @@ func (m *Machine) ChargeHomeTransfer(p int, a mem.Addr) sim.Time {
 // this: their bits travel with the eventual writeback.
 func (m *Machine) SyncBitsToL2(p int, line mem.Addr, bits []abits.Word) {
 	if fr := m.Procs[p].L2.Lookup(line); fr != nil {
-		fr.Bits = append(fr.Bits[:0], bits...)
+		m.Procs[p].L2.SetBits(fr, bits)
 	}
 }

@@ -17,9 +17,9 @@ func (s *session) emitAccess(c *Ctx, arr, elem int, write bool) {
 	buf := c.buf
 
 	if write && spec.SparseBackup && spec.Test == core.NonPriv &&
-		(s.cfg.Mode == SW || s.cfg.Mode == HW) && !s.sparseSaved[arr][elem] {
+		(s.cfg.Mode == SW || s.cfg.Mode == HW) && !s.sparseSaved[arr].Get(elem) {
 		// Save the element just before it is first modified (§2.2.1).
-		s.sparseSaved[arr][elem] = true
+		s.sparseSaved[arr].Set(elem)
 		*buf = append(*buf,
 			cpu.Load(shared.ElemAddr(elem)),
 			cpu.Store(s.backups[arr].ElemAddr(elem)),
@@ -43,7 +43,7 @@ func (s *session) emitAccess(c *Ctx, arr, elem int, write bool) {
 	if s.w.SWProcWise {
 		shIdx = elem / 32
 	}
-	s.swLines[arr][p][shIdx/s.elemsPerLine(s.swGlobal[arr])] = true
+	s.swLines[arr].Set(p*s.swLineCount[arr] + shIdx/s.elemsPerLine(s.swGlobal[arr]))
 	wrSh := s.swWr[arr][p].ElemAddr(shIdx)
 	rdSh := s.swRd[arr][p].ElemAddr(shIdx)
 
@@ -52,7 +52,7 @@ func (s *session) emitAccess(c *Ctx, arr, elem int, write bool) {
 		*buf = append(*buf,
 			cpu.Load(wrSh), cpu.Compute(2), cpu.Store(wrSh))
 		if spec.Test == core.Priv {
-			s.swTouched[arr][p][elem] = true
+			s.swTouched[arr].Set(p*spec.Elems + elem)
 			*buf = append(*buf, cpu.Store(s.swPriv[arr][p].ElemAddr(elem)))
 		} else {
 			*buf = append(*buf, cpu.Store(shared.ElemAddr(elem)))
@@ -65,10 +65,10 @@ func (s *session) emitAccess(c *Ctx, arr, elem int, write bool) {
 	*buf = append(*buf,
 		cpu.Load(wrSh), cpu.Load(rdSh), cpu.Compute(2), cpu.Store(rdSh))
 	if spec.Test == core.Priv {
-		if !s.swTouched[arr][p][elem] {
+		if !s.swTouched[arr].Get(p*spec.Elems + elem) {
 			// Read-in: first touch by this processor fetches the
 			// shared value into the private copy.
-			s.swTouched[arr][p][elem] = true
+			s.swTouched[arr].Set(p*spec.Elems + elem)
 			*buf = append(*buf, cpu.Load(shared.ElemAddr(elem)),
 				cpu.Store(s.swPriv[arr][p].ElemAddr(elem)))
 		}
@@ -221,35 +221,49 @@ func (s *session) loopWindow(exec, lo, hi int) {
 		cfg = sched.Config{Kind: sched.Static}
 	}
 
+	if s.loopGens == nil {
+		s.loopGens = make([]*loopGen, s.procs)
+		s.loopSrc = make([]cpu.Source, s.procs)
+		s.loopBufs = make([][]cpu.Instr, s.procs)
+		for p := 0; p < s.procs; p++ {
+			g := &loopGen{}
+			s.loopGens[p] = g
+			s.loopSrc[p] = g.next
+			s.loopBufs[p] = getInstrBuf()
+		}
+	}
+
 	// Schedulers operate on window-relative indices; blocks are shifted
 	// to global iteration numbers afterwards. Super numbers restart per
 	// window, matching the effective-iteration reset.
-	shift := func(bs []sched.Block) []sched.Block {
-		out := make([]sched.Block, len(bs))
-		for i, b := range bs {
-			out[i] = sched.Block{Lo: b.Lo + lo, Hi: b.Hi + lo, Super: b.Super}
+	shift := func(dst []sched.Block, bs []sched.Block) []sched.Block {
+		for _, b := range bs {
+			dst = append(dst, sched.Block{Lo: b.Lo + lo, Hi: b.Hi + lo, Super: b.Super})
 		}
-		return out
+		return dst
 	}
 
-	gens := make([]cpu.Source, s.procs)
 	var disp *sched.Dispenser
 	switch cfg.Kind {
 	case sched.Dynamic:
 		disp = sched.NewDispenser(iters, cfg.Chunk)
 	case sched.Static:
-		s.staticMap = shift(sched.StaticBlocks(iters, s.procs))
+		s.staticMap = shift(s.staticMap[:0], sched.StaticBlocks(iters, s.procs))
 	}
 
 	for p := 0; p < s.procs; p++ {
-		g := &loopGen{s: s, p: p, exec: exec, disp: disp, shiftLo: lo}
+		g := s.loopGens[p]
+		*g = loopGen{s: s, p: p, exec: exec, disp: disp, shiftLo: lo,
+			buf: s.loopBufs[p][:0], blocks: g.blocks[:0]}
 		switch cfg.Kind {
 		case sched.Static:
-			g.blocks = []sched.Block{s.staticMap[p]}
+			g.blocks = append(g.blocks, s.staticMap[p])
 		case sched.BlockCyclic:
-			g.blocks = shift(sched.BlockCyclicBlocks(iters, s.procs, cfg.Chunk)[p])
+			g.blocks = shift(g.blocks, sched.BlockCyclicBlocks(iters, s.procs, cfg.Chunk)[p])
 		}
-		gens[p] = g.next
 	}
-	s.sys.Run(s.procIDs, gens)
+	s.sys.Run(s.procIDs, s.loopSrc)
+	for p, g := range s.loopGens {
+		s.loopBufs[p] = g.buf
+	}
 }

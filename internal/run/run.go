@@ -297,6 +297,10 @@ func Execute(w *Workload, cfg Config) (*Result, error) {
 	}
 	res.NetStats = s.m.Net.Stats()
 	res.HomeQueue = s.m.HomeStats()
+	// All stats are collected; hand the cache tag slabs and the session's
+	// growth buffers back to their pools for the next Execute call.
+	s.m.Release()
+	s.release()
 	return res, nil
 }
 

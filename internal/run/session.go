@@ -1,6 +1,9 @@
 package run
 
 import (
+	"sync"
+
+	"specrt/internal/arena"
 	"specrt/internal/check"
 	"specrt/internal/core"
 	"specrt/internal/cpu"
@@ -36,19 +39,39 @@ type session struct {
 	hwArrays []*core.Array
 	backups  []mem.Region // zero-valued if the array needs no backup
 
-	// Software-scheme state.
+	// Software-scheme state. Per-execution bookkeeping lives on
+	// epoch-tagged arena tables allocated once per session and reset in
+	// O(1) between executions.
 	swRd, swWr [][]mem.Region // [array][proc] shadow stamp arrays
 	swGlobal   []mem.Region   // [array] merged shadow target
 	swPriv     [][]mem.Region // [array][proc] private data copies
-	swTouched  [][][]bool     // [array][proc][elem] first-touch (read-in)
-	// swLines[arr][proc] records which global-shadow lines the processor
-	// marked, for the sparse merge.
-	swLines []map[int]map[int]bool
-	// sparseSaved[arr][elem] marks elements already saved by the sparse
-	// backup in the current execution.
-	sparseSaved [][]bool
+	// swTouched[arr] packs the [proc][elem] first-touch (read-in) flags
+	// into one flat bitset per array (index p*Elems + elem).
+	swTouched []*arena.Bits
+	// swLines[arr] packs the [proc][line] marked-global-shadow-line flags
+	// into one flat bitset per array (index p*swLineCount[arr] + line),
+	// for the sparse merge.
+	swLines     []*arena.Bits
+	swLineCount []int
+	// swShadows and pwBuf are the retained LRPD shadow arrays and
+	// processor-wise op buffer of the analysis phase.
+	swShadows []*lrpd.Shadows
+	pwBuf     []lrpd.Op
+	// sparseSaved[arr] marks elements already saved by the sparse backup
+	// in the current execution.
+	sparseSaved []*arena.Bits
 	trace       [][]lrpd.Op   // [array] recorded accesses of this execution
 	staticMap   []sched.Block // schedule used, for the processor-wise test
+	// insBuf/srcBuf are the reusable per-processor instruction buffers of
+	// the copy and merge phases.
+	insBuf [][]cpu.Instr
+	srcBuf []cpu.Source
+	// loopBufs/loopGens are the reusable per-processor generator state of
+	// the loop phase; the generated-instruction buffers persist across
+	// windows and executions.
+	loopBufs [][]cpu.Instr
+	loopGens []*loopGen
+	loopSrc  []cpu.Source
 }
 
 func newSession(w *Workload, cfg Config) *session {
@@ -103,14 +126,17 @@ func newSession(w *Workload, cfg Config) *session {
 	// Backup copies for arrays modified in place by the speculative
 	// execution (non-privatized arrays under test).
 	if cfg.Mode == SW || cfg.Mode == HW {
+		s.sparseSaved = make([]*arena.Bits, len(w.Arrays))
 		for i, a := range w.Arrays {
 			if a.Test == core.NonPriv {
 				s.backups = append(s.backups,
 					m.Space.Alloc(a.Name+".bak", a.Elems, a.ElemSize, mem.RoundRobin, 0))
+				if a.SparseBackup {
+					s.sparseSaved[i] = arena.NewBits(a.Elems)
+				}
 			} else {
 				s.backups = append(s.backups, mem.Region{})
 			}
-			_ = i
 		}
 	}
 
@@ -132,6 +158,15 @@ func (s *session) shadowElems(n int) int {
 
 func (s *session) setupSW() {
 	w, m := s.w, s.m
+	s.swTouched = make([]*arena.Bits, len(w.Arrays))
+	s.swLines = make([]*arena.Bits, len(w.Arrays))
+	s.swLineCount = make([]int, len(w.Arrays))
+	s.swShadows = make([]*lrpd.Shadows, len(w.Arrays))
+	s.trace = make([][]lrpd.Op, len(w.Arrays))
+	for i := range s.trace {
+		s.trace[i] = getOpBuf()
+	}
+	s.pwBuf = getOpBuf()
 	for i, a := range w.Arrays {
 		var rd, wr, priv []mem.Region
 		if a.Test != core.Plain {
@@ -143,14 +178,21 @@ func (s *session) setupSW() {
 					priv = append(priv, m.Space.Alloc(nameP(a.Name, "priv", p), a.Elems, a.ElemSize, mem.Local, p))
 				}
 			}
-			s.swGlobal = append(s.swGlobal, m.Space.Alloc(a.Name+".gsh", ne, 4, mem.RoundRobin, 0))
+			g := m.Space.Alloc(a.Name+".gsh", ne, 4, mem.RoundRobin, 0)
+			s.swGlobal = append(s.swGlobal, g)
+			lines := (ne + s.elemsPerLine(g) - 1) / s.elemsPerLine(g)
+			s.swLineCount[i] = lines
+			s.swLines[i] = arena.NewBits(s.procs * lines)
+			s.swShadows[i] = lrpd.GetShadows(a.Elems)
+			if a.Test == core.Priv {
+				s.swTouched[i] = arena.NewBits(s.procs * a.Elems)
+			}
 		} else {
 			s.swGlobal = append(s.swGlobal, mem.Region{})
 		}
 		s.swRd = append(s.swRd, rd)
 		s.swWr = append(s.swWr, wr)
 		s.swPriv = append(s.swPriv, priv)
-		_ = i
 	}
 }
 
@@ -158,37 +200,91 @@ func nameP(arr, kind string, p int) string {
 	return arr + "." + kind + string(rune('0'+p/10)) + string(rune('0'+p%10))
 }
 
-// resetSparse clears per-execution sparse-backup state.
-func (s *session) resetSparse() {
-	if s.cfg.Mode != SW && s.cfg.Mode != HW {
-		return
+// opBufPool and instrBufPool recycle the big growth buffers (access
+// traces, instruction streams) across sessions, so short runs don't pay
+// the append-growth cost on every Execute (pointer-boxed Puts).
+var (
+	opBufPool    sync.Pool
+	instrBufPool sync.Pool
+)
+
+func getOpBuf() []lrpd.Op {
+	if v := opBufPool.Get(); v != nil {
+		return (*(v.(*[]lrpd.Op)))[:0]
 	}
-	s.sparseSaved = make([][]bool, len(s.w.Arrays))
-	for i, a := range s.w.Arrays {
-		if a.Test == core.NonPriv && a.SparseBackup {
-			s.sparseSaved[i] = make([]bool, a.Elems)
+	return nil
+}
+
+func putOpBuf(b []lrpd.Op) {
+	if cap(b) > 0 {
+		b = b[:0]
+		opBufPool.Put(&b)
+	}
+}
+
+func getInstrBuf() []cpu.Instr {
+	if v := instrBufPool.Get(); v != nil {
+		return (*(v.(*[]cpu.Instr)))[:0]
+	}
+	return nil
+}
+
+func putInstrBuf(b []cpu.Instr) {
+	if cap(b) > 0 {
+		b = b[:0]
+		instrBufPool.Put(&b)
+	}
+}
+
+// release hands the session's pooled buffers back once Execute has
+// collected its results. The session must not simulate afterwards.
+func (s *session) release() {
+	for i := range s.trace {
+		putOpBuf(s.trace[i])
+		s.trace[i] = nil
+	}
+	putOpBuf(s.pwBuf)
+	s.pwBuf = nil
+	for p := range s.insBuf {
+		putInstrBuf(s.insBuf[p])
+		s.insBuf[p] = nil
+	}
+	for p := range s.loopBufs {
+		putInstrBuf(s.loopBufs[p])
+		s.loopBufs[p] = nil
+	}
+	for i, sh := range s.swShadows {
+		if sh != nil {
+			lrpd.PutShadows(sh)
+			s.swShadows[i] = nil
 		}
 	}
 }
 
-// resetSWExec clears per-execution software state.
+// resetSparse clears per-execution sparse-backup state (O(1) epoch
+// bumps on the retained bitsets).
+func (s *session) resetSparse() {
+	for _, b := range s.sparseSaved {
+		if b != nil {
+			b.Reset()
+		}
+	}
+}
+
+// resetSWExec clears per-execution software state; the arena tables
+// reset in O(1) and the trace buffers keep their capacity.
 func (s *session) resetSWExec() {
-	s.trace = make([][]lrpd.Op, len(s.w.Arrays))
-	s.swTouched = make([][][]bool, len(s.w.Arrays))
-	s.swLines = make([]map[int]map[int]bool, len(s.w.Arrays))
-	for i, a := range s.w.Arrays {
-		if a.Test == core.Plain {
-			continue
+	for i := range s.trace {
+		s.trace[i] = s.trace[i][:0]
+	}
+	for _, b := range s.swTouched {
+		if b != nil {
+			b.Reset()
 		}
-		s.swLines[i] = make(map[int]map[int]bool, s.procs)
-		for p := 0; p < s.procs; p++ {
-			s.swLines[i][p] = make(map[int]bool)
-		}
-		if a.Test == core.Priv {
-			s.swTouched[i] = make([][]bool, s.procs)
-			for p := range s.swTouched[i] {
-				s.swTouched[i][p] = make([]bool, a.Elems)
-			}
+	}
+	for _, b := range s.swLines {
+		if b != nil {
+			b.Reset()
 		}
 	}
 }
@@ -320,7 +416,9 @@ func (s *session) serialReexec(exec int) (sim.Time, cpu.Breakdown) {
 }
 
 // analyze runs the real LRPD test over the recorded trace, filling
-// res.Verdicts; it returns true if any array under test failed.
+// res.Verdicts; it returns true if any array under test failed. The
+// shadow arrays are retained per array and reset between executions;
+// the processor-wise rewrite reuses one op buffer.
 func (s *session) analyze(exec int, res *Result) bool {
 	failed := false
 	for i, a := range s.w.Arrays {
@@ -329,13 +427,20 @@ func (s *session) analyze(exec int, res *Result) bool {
 		}
 		ops := s.trace[i]
 		if s.w.SWProcWise {
-			ops = lrpd.ProcessorWise(ops, s.chunkOf)
+			s.pwBuf = s.pwBuf[:0]
+			for _, op := range ops {
+				s.pwBuf = append(s.pwBuf, lrpd.Op{Iter: s.chunkOf(op.Iter), Elem: op.Elem, Write: op.Write})
+			}
+			ops = s.pwBuf
 		}
+		sh := s.swShadows[i]
+		sh.Reset()
+		sh.Mark(ops)
 		var v lrpd.Verdict
 		if a.Test == core.Priv {
-			v = lrpd.TestWithReadIn(a.Elems, ops).Verdict
+			v = lrpd.AnalyzeWithReadIn(sh).Verdict
 		} else {
-			v = lrpd.Test(a.Elems, ops, false).Verdict
+			v = lrpd.Analyze(sh, false).Verdict
 		}
 		res.Verdicts[a.Name] = v
 		if v == lrpd.NotParallel {
@@ -365,14 +470,27 @@ func (s *session) elemsPerLine(r mem.Region) int {
 	return n
 }
 
+// phaseBufs returns the session's reusable per-processor source and
+// instruction buffers (the phases run back-to-back, never concurrently).
+func (s *session) phaseBufs() []cpu.Source {
+	if s.srcBuf == nil {
+		s.srcBuf = make([]cpu.Source, s.procs)
+		s.insBuf = make([][]cpu.Instr, s.procs)
+		for p := range s.insBuf {
+			s.insBuf[p] = getInstrBuf()
+		}
+	}
+	return s.srcBuf
+}
+
 // copyPhase runs the parallel backup (restore=false) or restore
 // (restore=true) of all backed-up arrays, and for SW also the shadow
 // zero-out on the backup pass. Work is chunked across processors and
 // closed with a barrier.
 func (s *session) copyPhase(restore bool) {
-	sources := make([]cpu.Source, s.procs)
+	sources := s.phaseBufs()
 	for p := 0; p < s.procs; p++ {
-		var ins []cpu.Instr
+		ins := s.insBuf[p][:0]
 		for i, a := range s.w.Arrays {
 			bak := s.backups[i]
 			if bak.Bytes == 0 {
@@ -410,6 +528,7 @@ func (s *session) copyPhase(restore bool) {
 			}
 		}
 		ins = append(ins, cpu.Barrier(phaseBarrier))
+		s.insBuf[p] = ins
 		sources[p] = cpu.SliceSource(ins)
 	}
 	s.sys.Run(s.procIDs, sources)
@@ -419,8 +538,9 @@ func (s *session) copyPhase(restore bool) {
 // sparse-saved.
 func (s *session) lineSaved(arr, e, step int) bool {
 	saved := s.sparseSaved[arr]
-	for k := e; k < e+step && k < len(saved); k++ {
-		if saved[k] {
+	n := s.w.Arrays[arr].Elems
+	for k := e; k < e+step && k < n; k++ {
+		if saved.Get(k) {
 			return true
 		}
 	}
@@ -471,9 +591,9 @@ func (s *session) copyOutPhase() {
 // chunk of the merged global shadows. Per-processor work stays constant
 // as processors are added (§6.3), which is what limits SW scalability.
 func (s *session) mergePhase() {
-	sources := make([]cpu.Source, s.procs)
+	sources := s.phaseBufs()
 	for p := 0; p < s.procs; p++ {
-		var ins []cpu.Instr
+		ins := s.insBuf[p][:0]
 		for i, a := range s.w.Arrays {
 			if a.Test == core.Plain {
 				continue
@@ -488,14 +608,11 @@ func (s *session) mergePhase() {
 					cpu.Compute(2))
 			}
 			// Sparse merge: update only the global-shadow lines this
-			// processor marked.
-			lines := make([]int, 0, len(s.swLines[i][p]))
-			for ln := range s.swLines[i][p] {
-				lines = append(lines, ln)
-			}
-			sortInts(lines)
-			for _, ln := range lines {
-				e := ln * step
+			// processor marked. The bitset walk visits lines in
+			// increasing order.
+			base := p * s.swLineCount[i]
+			s.swLines[i].ForEachRange(base, base+s.swLineCount[i], func(idx int) {
+				e := (idx - base) * step
 				if e >= g.Elems {
 					e = g.Elems - 1
 				}
@@ -503,7 +620,7 @@ func (s *session) mergePhase() {
 					cpu.Load(g.ElemAddr(e)),
 					cpu.Compute(sim.Time(step)),
 					cpu.Store(g.ElemAddr(e)))
-			}
+			})
 			ins = append(ins, cpu.Barrier(phaseBarrier))
 			// Analysis: each processor checks its chunk of the merged
 			// global shadows.
@@ -513,16 +630,8 @@ func (s *session) mergePhase() {
 			}
 		}
 		ins = append(ins, cpu.Barrier(phaseBarrier))
+		s.insBuf[p] = ins
 		sources[p] = cpu.SliceSource(ins)
 	}
 	s.sys.Run(s.procIDs, sources)
-}
-
-// sortInts is a tiny insertion sort; merge line sets are small.
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }
