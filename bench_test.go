@@ -20,7 +20,9 @@ import (
 	"specrt"
 
 	"specrt/internal/core"
+	"specrt/internal/directory"
 	"specrt/internal/harness"
+	"specrt/internal/interconnect"
 	"specrt/internal/lrpd"
 	"specrt/internal/machine"
 	"specrt/internal/mem"
@@ -381,6 +383,50 @@ func BenchmarkAblationMeshContention(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows := harness.New(harness.Quick).AblationMeshContention()
 		if len(rows) != 4 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// ----- Wide-scale ablation (multi-word sharer sets, coarse directory) -----
+
+// benchWideCell measures one wide-scale cell. One untimed run warms the
+// arena/slab pools so -benchtime=1x (the CI setting) measures steady
+// state rather than first-run growth; these cells are the committed
+// budget for the 256-1024 processor configurations.
+func benchWideCell(b *testing.B, workload string, procs int, dir directory.Mode, topo interconnect.Kind) {
+	b.Helper()
+	h := harness.New(harness.Quick)
+	h.WideCell(workload, procs, dir, topo)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := h.WideCell(workload, procs, dir, topo)
+		if r.Cycles == 0 {
+			b.Fatal("no cycles")
+		}
+	}
+}
+
+func BenchmarkAblationWideOcean1024Mesh(b *testing.B) {
+	benchWideCell(b, "Ocean", 1024, directory.FullMap, interconnect.Mesh)
+}
+
+func BenchmarkAblationWideOcean1024Coarse(b *testing.B) {
+	benchWideCell(b, "Ocean", 1024, directory.Coarse, interconnect.Mesh)
+}
+
+func BenchmarkAblationWideGen1024Mesh(b *testing.B) {
+	benchWideCell(b, "gen", 1024, directory.FullMap, interconnect.Mesh)
+}
+
+func BenchmarkAblationWideLadder(b *testing.B) {
+	// The 64- and 256-processor rungs of the full grid (2 workloads x
+	// 2 directory modes x 2 topologies per rung).
+	harness.New(harness.Quick).AblationWide(harness.WideProcsUpTo(256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := harness.New(harness.Quick).AblationWide(harness.WideProcsUpTo(256))
+		if len(rows) != 16 {
 			b.Fatal("bad rows")
 		}
 	}

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	protofuzz [-seeds N] [-scale quick|default|deep] [-seed S] [-inject BUG] [-topology T] [-o FILE] [-v]
+//	protofuzz [-seeds N] [-scale quick|default|deep] [-procs P] [-seed S] [-inject BUG] [-topology T] [-o FILE] [-v]
 //	protofuzz -replay FILE
 //
 // The first form explores until N distinct delivery orders have been
@@ -21,6 +21,12 @@
 // model (ideal, bus, crossbar or mesh), shifting when messages land
 // relative to later transactions; reproducers record the topology and
 // replay on it.
+//
+// -procs forces every generated stream to exactly P processors instead
+// of the scale's small random draw — the way CI exercises the
+// multi-word sharer-set paths at 128 processors. Reproducers record the
+// stream's processor count, so minimized cases replay at the width that
+// found them.
 //
 // -inject plants a known protocol bug (e.g. first-vs-write-flip disables
 // the §3.2 First_update-vs-write bounce rule) to prove the checker can
@@ -45,6 +51,7 @@ var injectNames = map[string]core.InjectedBug{
 func main() {
 	seeds := flag.Int("seeds", 200, "distinct delivery orders to explore")
 	scaleName := flag.String("scale", "quick", "stream size: quick, default or deep")
+	procs := flag.Int("procs", 0, "force every generated stream to exactly this processor count (0 = the scale's random draw)")
 	baseSeed := flag.Uint64("seed", 1, "base seed for stream generation and ordering")
 	injectName := flag.String("inject", "none", "plant a known protocol bug: none or first-vs-write-flip")
 	topoName := flag.String("topology", "ideal", "interconnect topology: ideal, bus, crossbar or mesh")
@@ -52,7 +59,7 @@ func main() {
 	outFile := flag.String("o", "", "write the minimized reproducer to this file (default: stdout)")
 	verbose := flag.Bool("v", false, "print progress as exploration runs")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-seeds N] [-scale quick|default|deep] [-seed S] [-inject BUG] [-topology T] [-o FILE] [-v]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-seeds N] [-scale quick|default|deep] [-procs P] [-seed S] [-inject BUG] [-topology T] [-o FILE] [-v]\n", os.Args[0])
 		fmt.Fprintf(os.Stderr, "       %s -replay FILE\n", os.Args[0])
 		flag.PrintDefaults()
 	}
@@ -71,6 +78,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "protofuzz:", err)
 		os.Exit(2)
+	}
+	if *procs != 0 {
+		if *procs < 2 || *procs > 1024 {
+			fmt.Fprintln(os.Stderr, "protofuzz: -procs must be in [2,1024]")
+			os.Exit(2)
+		}
+		sc.Procs = *procs
 	}
 	inject, ok := injectNames[*injectName]
 	if !ok {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	specrt [-scale quick|default|paper] [-parallel N] [-topology T] [-placement P] [latencies|fig11|fig12|fig13|fig14|network|ablations|all]
+//	specrt [-scale quick|default|paper] [-parallel N] [-topology T] [-placement P] [-dirmode D] [-procs N] [latencies|fig11|fig12|fig13|fig14|network|wide|ablations|all]
 //
 // Experiment cells are independent deterministic simulations; -parallel
 // (default: all host cores) bounds how many run at once. Output is
@@ -11,10 +11,14 @@
 // write pprof profiles for hot-path work.
 //
 // -topology selects the interconnect model (ideal reproduces the
-// paper's flat hop cost; bus, crossbar and mesh add link queueing) and
-// -placement the page-placement policy for workload arrays; both apply
-// to every experiment cell. The network command prints the
-// mesh-contention ablation on its own.
+// paper's flat hop cost; bus, crossbar and mesh add link queueing; an
+// explicit mesh shape spells as mesh:WxH), -placement the
+// page-placement policy for workload arrays, and -dirmode the directory
+// sharer representation (full-map or coarse); all apply to every
+// experiment cell. The network command prints the mesh-contention
+// ablation on its own, and wide prints the wide-scale scaling ablation
+// (procs x directory mode x topology, up to -procs processors —
+// default 1024).
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"runtime/pprof"
 
 	"specrt/internal/core"
+	"specrt/internal/directory"
 	"specrt/internal/harness"
 	"specrt/internal/interconnect"
 	"specrt/internal/mem"
@@ -34,12 +39,14 @@ func main() {
 	scaleFlag := flag.String("scale", "default", "experiment scale: quick, default or paper")
 	formatFlag := flag.String("format", "table", "output format: table or csv (csv for latencies/fig11..fig14/network only)")
 	parallelFlag := flag.Int("parallel", 0, "worker-pool size for experiment cells (0 = all host cores, 1 = sequential)")
-	topoFlag := flag.String("topology", "ideal", "interconnect topology: ideal, bus, crossbar or mesh")
+	topoFlag := flag.String("topology", "ideal", "interconnect topology: ideal, bus, crossbar, mesh or mesh:WxH")
 	placeFlag := flag.String("placement", "round-robin", "page placement: round-robin, blocked or local")
+	dirFlag := flag.String("dirmode", "full-map", "directory sharer representation: full-map or coarse")
+	procsFlag := flag.Int("procs", 0, "wide command: largest processor count of the scaling ladder (0 = 1024)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-scale quick|default|paper] [-parallel N] [-topology T] [-placement P] [latencies|fig11|fig12|fig13|fig14|stats|network|ablations|all]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-scale quick|default|paper] [-parallel N] [-topology T] [-placement P] [-dirmode D] [-procs N] [latencies|fig11|fig12|fig13|fig14|stats|network|wide|ablations|all]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,7 +56,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	topo, err := interconnect.KindByName(*topoFlag)
+	ncfg, err := interconnect.ParseSpec(*topoFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -59,9 +66,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	dirMode, err := directory.ModeByName(*dirFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	h := harness.NewParallel(sc, *parallelFlag)
-	h.Topology = topo
+	h.Topology = ncfg.Kind
+	h.MeshW, h.MeshH = ncfg.MeshW, ncfg.MeshH
 	h.Placement = place
+	h.DirMode = dirMode
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -151,6 +165,13 @@ func main() {
 			return
 		}
 		h.PrintAblationMeshContention(out)
+	case "wide":
+		ladder := harness.WideProcsUpTo(*procsFlag)
+		if csvMode {
+			checkCSV(harness.WideResult{Rows: h.AblationWide(ladder)}.WriteCSV(out))
+			return
+		}
+		h.PrintAblationWide(out, ladder)
 	case "ablations":
 		h.Ablations(out)
 	case "all":

@@ -4,15 +4,18 @@
 //
 // Usage:
 //
-//	tracesim [-procs N] [-modes Serial,Ideal,SW,HW] [-topology T] [-placement P] trace.json
+//	tracesim [-procs N] [-modes Serial,Ideal,SW,HW] [-topology T] [-placement P] [-dirmode D] trace.json
 //
 // Reads stdin when no file is given. Exit status 1 if any speculative
 // scheme failed (the loop is not parallel as scheduled). -topology
 // routes deferred protocol messages over a contention-aware network
 // model (ideal, bus, crossbar or mesh; ideal reproduces the paper's
-// flat hop cost) and -placement picks the page placement for the
-// loop's arrays; with a non-ideal topology a network summary line is
-// printed per scheme.
+// flat hop cost; mesh:WxH forces an explicit grid shape) and
+// -placement picks the page placement for the loop's arrays; with a
+// non-ideal topology a network summary line is printed per scheme.
+// -procs accepts up to 1024 processors; -dirmode coarse switches the
+// directory to the limited-pointer/coarse-vector sharer representation
+// wide machines use.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"specrt/internal/directory"
 	"specrt/internal/interconnect"
 	"specrt/internal/mem"
 	"specrt/internal/run"
@@ -33,20 +37,27 @@ import (
 func main() {
 	procs := flag.Int("procs", 8, "processors for the parallel schemes")
 	modesFlag := flag.String("modes", "Serial,Ideal,SW,HW", "comma-separated schemes to run")
-	topoFlag := flag.String("topology", "ideal", "interconnect topology: ideal, bus, crossbar or mesh")
+	topoFlag := flag.String("topology", "ideal", "interconnect topology: ideal, bus, crossbar, mesh or mesh:WxH")
 	placeFlag := flag.String("placement", "round-robin", "page placement: round-robin, blocked or local")
+	dirFlag := flag.String("dirmode", "full-map", "directory sharer representation: full-map or coarse")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-procs N] [-modes Serial,Ideal,SW,HW] [-topology T] [-placement P] [trace.json]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-procs N] [-modes Serial,Ideal,SW,HW] [-topology T] [-placement P] [-dirmode D] [trace.json]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	topo, err := interconnect.KindByName(*topoFlag)
+	ncfg, err := interconnect.ParseSpec(*topoFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	topo := ncfg.Kind
 	place, err := mem.PlacementByName(*placeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	dirMode, err := directory.ModeByName(*dirFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -93,7 +104,8 @@ func main() {
 			p = 1
 		}
 		res, err := run.Execute(w, run.Config{Procs: p, Mode: mode, Contention: true,
-			Topology: topo, Placement: place})
+			Topology: topo, Placement: place,
+			MeshW: ncfg.MeshW, MeshH: ncfg.MeshH, DirMode: dirMode})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)

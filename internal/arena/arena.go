@@ -133,3 +133,63 @@ func (b *Bits) Reset() {
 		b.cur = 1
 	}
 }
+
+// Slabs is a bump allocator of fixed-width uint64 slabs over one growing
+// buffer, with an O(1) Reset that reclaims every slab at once. Metadata
+// that outgrows a single machine word (multi-word sharer sets on wide
+// machines) allocates a slab per set and keeps its id; ids are dense,
+// stable across buffer growth, and dead after Reset.
+type Slabs struct {
+	width int
+	buf   []uint64
+	next  int // slabs handed out since the last Reset
+}
+
+// NewSlabs returns an allocator of zeroed slabs of width words each.
+func NewSlabs(width int) *Slabs {
+	if width <= 0 {
+		panic("arena: slab width must be positive")
+	}
+	return &Slabs{width: width}
+}
+
+// Width returns the slab width in words.
+func (s *Slabs) Width() int { return s.width }
+
+// Live returns the number of slabs allocated since the last Reset.
+func (s *Slabs) Live() int { return s.next }
+
+// Alloc returns the id of a fresh zeroed slab.
+func (s *Slabs) Alloc() int {
+	id := s.next
+	s.next++
+	need := s.next * s.width
+	if need > len(s.buf) {
+		size := len(s.buf) * 2
+		if size < 16*s.width {
+			size = 16 * s.width
+		}
+		for size < need {
+			size *= 2
+		}
+		grown := make([]uint64, size)
+		copy(grown, s.buf)
+		s.buf = grown
+	} else {
+		// Recycled region from before the last Reset: wipe just this slab.
+		clear(s.buf[id*s.width : need])
+	}
+	return id
+}
+
+// Slab returns slab id's words. The slice aliases the backing buffer and
+// is invalidated by the next Alloc (growth may move the buffer): re-fetch
+// it rather than retaining it across allocations.
+func (s *Slabs) Slab(id int) []uint64 {
+	lo, hi := id*s.width, (id+1)*s.width
+	return s.buf[lo:hi:hi]
+}
+
+// Reset reclaims every slab in O(1) by rewinding the bump pointer; the
+// buffer (and its capacity) is retained for the next epoch.
+func (s *Slabs) Reset() { s.next = 0 }

@@ -176,3 +176,54 @@ func TestI32MatchesReference(t *testing.T) {
 		}
 	}
 }
+
+func TestSlabsAllocAndReset(t *testing.T) {
+	s := NewSlabs(3)
+	if s.Width() != 3 {
+		t.Fatalf("Width = %d, want 3", s.Width())
+	}
+	a := s.Alloc()
+	b := s.Alloc()
+	if a == b {
+		t.Fatal("Alloc returned the same id twice")
+	}
+	s.Slab(a)[0] = 0xdead
+	s.Slab(b)[2] = 0xbeef
+	if s.Slab(a)[0] != 0xdead || s.Slab(a)[2] != 0 {
+		t.Fatalf("slab %d corrupted: %v", a, s.Slab(a))
+	}
+	if s.Slab(b)[2] != 0xbeef || s.Slab(b)[0] != 0 {
+		t.Fatalf("slab %d corrupted: %v", b, s.Slab(b))
+	}
+	if s.Live() != 2 {
+		t.Fatalf("Live = %d, want 2", s.Live())
+	}
+	s.Reset()
+	if s.Live() != 0 {
+		t.Fatalf("Live after Reset = %d, want 0", s.Live())
+	}
+	// Recycled slabs must come back zeroed.
+	c := s.Alloc()
+	for i, w := range s.Slab(c) {
+		if w != 0 {
+			t.Fatalf("recycled slab word %d = %#x, want 0", i, w)
+		}
+	}
+}
+
+func TestSlabsGrowthKeepsEarlierSlabs(t *testing.T) {
+	s := NewSlabs(2)
+	ids := make([]int, 0, 100)
+	for i := 0; i < 100; i++ {
+		id := s.Alloc()
+		s.Slab(id)[0] = uint64(i + 1)
+		s.Slab(id)[1] = uint64(i + 1000)
+		ids = append(ids, id)
+	}
+	for i, id := range ids {
+		w := s.Slab(id)
+		if w[0] != uint64(i+1) || w[1] != uint64(i+1000) {
+			t.Fatalf("slab %d lost its words across growth: %v", id, w)
+		}
+	}
+}

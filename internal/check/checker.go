@@ -184,7 +184,8 @@ func (k *Checker) onTransaction(kind machine.TxKind, proc int, line mem.Addr) {
 // Shared entry only clean copies within its sharer set, an Uncached entry
 // no copies at all.
 func (k *Checker) checkCoherence(line mem.Addr) {
-	e := k.m.Dirs[k.m.HomeOf(line)].Peek(line)
+	home := k.m.Dirs[k.m.HomeOf(line)]
+	e := home.Peek(line)
 	st := directory.Uncached
 	if e != nil {
 		st = e.State
@@ -205,7 +206,7 @@ func (k *Checker) checkCoherence(line mem.Addr) {
 		case directory.Shared:
 			if dirty {
 				k.fail("coh-shared-clean", "line %#x dir SHARED but dirty at proc %d", line, pr.ID)
-			} else if !e.Sharers.Has(pr.ID) {
+			} else if !home.HasSharer(e, pr.ID) {
 				k.fail("coh-shared-recorded", "line %#x cached at proc %d missing from sharer set", line, pr.ID)
 			}
 		case directory.Dirty:

@@ -22,13 +22,14 @@ import (
 // catches it. The stream replays twice across a FlushCaches, which
 // resets both the dense table's epoch and the mirror, exercising the
 // O(1) reset path the map implementation never had.
-func replayMirrored(t *testing.T, s *Stream, orderSeed uint64) {
+func replayMirrored(t *testing.T, s *Stream, orderSeed uint64, mode directory.Mode) {
 	t.Helper()
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	cfg := machine.DefaultConfig(s.Procs)
 	cfg.Contention = false
+	cfg.DirMode = mode
 	m := machine.MustNew(cfg)
 	c := core.NewController(m)
 	m.OnFail = func(error) {} // FAILs are fine; the directories must still agree
@@ -51,7 +52,7 @@ func replayMirrored(t *testing.T, s *Stream, orderSeed uint64) {
 		home := m.HomeOf(line)
 		re := mirrors[home].Entry(line)
 		if e := m.Dirs[home].Peek(line); e != nil {
-			re.State, re.Sharers, re.Owner = e.State, e.Sharers, int(e.Owner)
+			re.CopyFrom(m.DirTable.Store(), e)
 		} else {
 			re.ClearToUncached()
 		}
@@ -117,18 +118,19 @@ func replayMirrored(t *testing.T, s *Stream, orderSeed uint64) {
 // dense-tracked line agrees with the mirror.
 func compareMirrors(t *testing.T, m *machine.Machine, mirrors []*directory.Reference, round int) {
 	t.Helper()
+	st := m.DirTable.Store()
 	for node, ref := range mirrors {
 		d := m.Dirs[node]
 		ref.ForEach(func(line mem.Addr, re *directory.RefEntry) {
 			e := d.Peek(line)
 			if e == nil {
-				if re.State != directory.Uncached || re.Sharers != 0 {
+				if re.State != directory.Uncached || len(re.Sharers) != 0 {
 					t.Fatalf("round %d node %d line 0x%x: mirror has %+v but dense entry is gone",
 						round, node, line, *re)
 				}
 				return
 			}
-			if err := directory.Matches(e, re); err != nil {
+			if err := directory.Matches(st, e, re); err != nil {
 				t.Fatalf("round %d node %d line 0x%x: %v", round, node, line, err)
 			}
 		})
@@ -140,7 +142,7 @@ func compareMirrors(t *testing.T, m *machine.Machine, mirrors []*directory.Refer
 					round, node, line, prev)
 			}
 			first, prev = false, line
-			if err := directory.Matches(e, ref.Peek(line)); err != nil {
+			if err := directory.Matches(st, e, ref.Peek(line)); err != nil {
 				t.Fatalf("round %d node %d line 0x%x: %v", round, node, line, err)
 			}
 		})
@@ -158,8 +160,33 @@ func TestDenseDirectoryMatchesReferenceFuzz(t *testing.T) {
 	for seed := uint64(1); seed <= 24; seed++ {
 		s := Generate(seed, sc)
 		for orderSeed := uint64(0); orderSeed < 3; orderSeed++ {
-			replayMirrored(t, s, seed*31+orderSeed)
+			replayMirrored(t, s, seed*31+orderSeed, directory.FullMap)
 		}
+	}
+}
+
+// TestDenseDirectoryMatchesReferenceWide replays generated fuzz streams
+// on 128-processor machines — past the one-word spill point of the
+// full-map vector and deep into pointer-overflow territory for the
+// coarse vector — in both directory modes. The mirror comparison proves
+// the multi-word and coarse sharer paths store and enumerate entries
+// exactly like the map-backed reference, and the attached invariant
+// checker separately asserts that no cached copy is ever missing from
+// its line's (possibly widened) sharer set.
+func TestDenseDirectoryMatchesReferenceWide(t *testing.T) {
+	sc := Scale{Name: "wide", MaxProcs: 128, Procs: 128, MaxElems: 64, MaxSteps: 160}
+	for _, mode := range []directory.Mode{directory.FullMap, directory.Coarse} {
+		t.Run(mode.String(), func(t *testing.T) {
+			for seed := uint64(1); seed <= 6; seed++ {
+				s := Generate(seed, sc)
+				if s.Procs != 128 {
+					t.Fatalf("scale did not force proc count: got %d", s.Procs)
+				}
+				for orderSeed := uint64(0); orderSeed < 2; orderSeed++ {
+					replayMirrored(t, s, seed*31+orderSeed, mode)
+				}
+			}
+		})
 	}
 }
 
@@ -205,7 +232,7 @@ func TestDenseDirectoryMatchesReferenceRaces(t *testing.T) {
 	for name, s := range races {
 		t.Run(name, func(t *testing.T) {
 			for orderSeed := uint64(0); orderSeed < 8; orderSeed++ {
-				replayMirrored(t, s, orderSeed)
+				replayMirrored(t, s, orderSeed, directory.FullMap)
 			}
 		})
 	}

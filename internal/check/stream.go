@@ -54,8 +54,8 @@ type Stream struct {
 // in range, and per-processor iteration numbers that are positive and
 // non-decreasing (privatization) or zero (non-privatization).
 func (s *Stream) Validate() error {
-	if s.Procs < 1 || s.Procs > 16 {
-		return fmt.Errorf("check: procs %d outside [1,16]", s.Procs)
+	if s.Procs < 1 || s.Procs > 1024 {
+		return fmt.Errorf("check: procs %d outside [1,1024]", s.Procs)
 	}
 	if s.Elems < 1 || s.Elems > 4096 {
 		return fmt.Errorf("check: elems %d outside [1,4096]", s.Elems)
@@ -98,6 +98,10 @@ type Scale struct {
 	MaxProcs int // procs drawn from [2, MaxProcs]
 	MaxElems int // elems drawn from [1, MaxElems]
 	MaxSteps int // accesses (np) or iterations (priv) drawn from [1, MaxSteps]
+	// Procs, when positive, forces every generated stream to exactly
+	// this processor count (wide-machine fuzzing wants all streams past
+	// the spill point, not a rare draw at the top of the range).
+	Procs int
 }
 
 // Scales are the supported exploration sizes, smallest first.
@@ -129,6 +133,9 @@ func Generate(seed uint64, sc Scale) *Stream {
 		Elems:    1 + rng.Intn(sc.MaxElems),
 		ElemSize: []int{4, 8, 16}[rng.Intn(3)],
 		Priv:     rng.Intn(2) == 0,
+	}
+	if sc.Procs > 0 {
+		s.Procs = sc.Procs
 	}
 	if s.Priv {
 		s.RICO = rng.Intn(2) == 0

@@ -122,3 +122,25 @@ func TestReproducerTopologyDefaultsToIdeal(t *testing.T) {
 		t.Fatalf("legacy reproducer topology = %v, want ideal", r.Topology)
 	}
 }
+
+func TestReproducerRoundTripsWideProcs(t *testing.T) {
+	// A stream generated at a forced 128-processor width must survive the
+	// reproducer Marshal/Parse cycle with its processor count intact, so
+	// wide-machine violations replay at the width that found them.
+	sc := Scale{Name: "wide", MaxProcs: 128, Procs: 128, MaxElems: 32, MaxSteps: 48}
+	s := Generate(3, sc)
+	if s.Procs != 128 {
+		t.Fatalf("generated stream has %d procs, want 128", s.Procs)
+	}
+	r := &Reproducer{Stream: s, OrderSeed: 9}
+	got, err := ParseReproducer(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stream.Procs != 128 {
+		t.Fatalf("round-tripped stream has %d procs, want 128", got.Stream.Procs)
+	}
+	if len(got.Stream.Accesses) != len(s.Accesses) {
+		t.Fatalf("round-tripped stream has %d accesses, want %d", len(got.Stream.Accesses), len(s.Accesses))
+	}
+}

@@ -143,18 +143,19 @@ type Array struct {
 // noIter is the MinW "never written" sentinel.
 const noIter = math.MaxInt32
 
-// npFirst bit layout of the packed non-privatization word: the low byte
-// holds First+1 (0 = NONE; processor IDs are < 64), then the NoShr and
-// ROnly flags.
+// npFirst bit layout of the packed non-privatization word: the low 13
+// bits hold First+1 (0 = NONE; wide enough for directory.MaxProcs
+// processor IDs), then the NoShr and ROnly flags.
 const (
-	npNoShrBit = 1 << 8
-	npROnlyBit = 1 << 9
+	npFirstMask = 1<<13 - 1
+	npNoShrBit  = 1 << 13
+	npROnlyBit  = 1 << 14
 )
 
 // npGet unpacks element e's directory word (First, NoShr, ROnly).
 func (a *Array) npGet(e int) (first int, noShr, rOnly bool) {
 	v := a.np.Get(e)
-	return int(v&0xff) - 1, v&npNoShrBit != 0, v&npROnlyBit != 0
+	return int(v&npFirstMask) - 1, v&npNoShrBit != 0, v&npROnlyBit != 0
 }
 
 // npSet writes element e's directory word in one store, mirroring the

@@ -1,6 +1,6 @@
-// Package directory implements the per-node, DASH-like full-map directory
-// of the simulated CC-NUMA machine [Lenoski et al., "The Directory-Based
-// Cache Coherence Protocol for the DASH Multiprocessor"]. Each memory line
+// Package directory implements the per-node, DASH-like directory of the
+// simulated CC-NUMA machine [Lenoski et al., "The Directory-Based Cache
+// Coherence Protocol for the DASH Multiprocessor"]. Each memory line
 // homed at a node has an entry recording whether it is uncached, shared by
 // a set of caches, or dirty in exactly one cache. All coherence
 // transactions for a line serialize at its home directory, which is the
@@ -11,8 +11,12 @@
 // hash map keyed by address. All home nodes of one machine share a
 // single flat Table (a line is only ever looked up at its home node, so
 // the per-node directories partition the table by the entry's home tag),
-// and each Entry packs state+sharers+owner into 16 bytes. Entries are
-// epoch-tagged so Reset between loop executions is O(1).
+// and each Entry packs state+sharers+owner into 16 bytes at every
+// machine size. The sharer set is a single ProcSet word whose meaning —
+// inline full-map bit vector, handle to a multi-word arena slab, or
+// limited-pointer/coarse-vector encoding — is fixed per Table by its
+// Store (see procset.go). Entries are epoch-tagged so Reset between loop
+// executions is O(1).
 package directory
 
 import (
@@ -44,42 +48,15 @@ func (s State) String() string {
 	return fmt.Sprintf("State(%d)", uint8(s))
 }
 
-// Sharers is a bitset of processor IDs holding a clean copy. 64 processors
-// are enough for this study (the paper evaluates up to 16).
-type Sharers uint64
-
-// Add returns s with processor p added.
-func (s Sharers) Add(p int) Sharers { return s | 1<<uint(p) }
-
-// Remove returns s with processor p removed.
-func (s Sharers) Remove(p int) Sharers { return s &^ (1 << uint(p)) }
-
-// Has reports whether p is in the set.
-func (s Sharers) Has(p int) bool { return s&(1<<uint(p)) != 0 }
-
-// Count returns the number of sharers.
-func (s Sharers) Count() int { return bits.OnesCount64(uint64(s)) }
-
-// Only reports whether p is the single sharer.
-func (s Sharers) Only(p int) bool { return s == 1<<uint(p) }
-
-// ForEach calls fn for each processor in the set, in increasing ID order.
-func (s Sharers) ForEach(fn func(p int)) {
-	for v := uint64(s); v != 0; {
-		p := bits.TrailingZeros64(v)
-		fn(p)
-		v &^= 1 << uint(p)
-	}
-}
-
 // Entry is the directory state for one line, packed to 16 bytes the way
-// a hardware directory word would be.
+// a hardware directory word would be. Sharers is opaque: decode it
+// through the owning Table's Store (or the Directory sharer methods).
 type Entry struct {
-	Sharers Sharers // presence bitset
-	epoch   uint32  // live when == owning Table's current epoch
+	Sharers ProcSet // sharer set, interpreted by the table's Store
+	epoch   uint16  // live when == owning Table's current epoch
+	home    uint16  // node whose Directory view created the entry
 	Owner   int16   // valid when State == Dirty
 	State   State
-	home    uint8 // node whose Directory view created the entry
 }
 
 // Stats counts directory events at one node.
@@ -92,10 +69,12 @@ type Stats struct {
 // Table is the flat directory storage shared by all home nodes of one
 // machine, indexed by dense line index (addr >> log2(lineBytes)). It
 // grows on demand as the simulated address space grows and is wiped in
-// O(1) by advancing its epoch.
+// O(1) by advancing its epoch; the embedded Store interprets (and, for
+// spilled multi-word sets, owns) every entry's Sharers word.
 type Table struct {
 	shift   uint
-	cur     uint32
+	cur     uint16
+	store   Store
 	entries []Entry
 }
 
@@ -105,8 +84,9 @@ type Table struct {
 var tablePool sync.Pool
 
 // NewTable creates an empty table for the given power-of-two line size,
-// reusing pooled storage when available.
-func NewTable(lineBytes int) *Table {
+// sized for a machine of procs processors with the given sharer-set
+// representation, reusing pooled storage when available.
+func NewTable(lineBytes, procs int, mode Mode) *Table {
 	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
 		panic(fmt.Sprintf("directory: line size %d is not a power of two", lineBytes))
 	}
@@ -114,23 +94,31 @@ func NewTable(lineBytes int) *Table {
 	if v := tablePool.Get(); v != nil {
 		t := v.(*Table)
 		t.shift = shift
+		t.store.configure(mode, procs)
 		t.Reset()
 		return t
 	}
-	return &Table{shift: shift, cur: 1}
+	t := &Table{shift: shift, cur: 1}
+	t.store.configure(mode, procs)
+	return t
 }
 
 // Release hands the table's storage back to the pool. The table (and
 // every Directory view of it) must not be used afterwards.
 func (t *Table) Release() { tablePool.Put(t) }
 
-// Reset invalidates every entry in O(1) by advancing the epoch.
+// Store returns the interpreter for this table's Sharers words.
+func (t *Table) Store() *Store { return &t.store }
+
+// Reset invalidates every entry in O(1) by advancing the epoch and
+// reclaims all spilled sharer slabs.
 func (t *Table) Reset() {
 	t.cur++
 	if t.cur == 0 { // wrapped: stale epochs could alias the new one
 		clear(t.entries)
 		t.cur = 1
 	}
+	t.store.reset()
 }
 
 // Reserve grows the table so lines up to end (exclusive) need no further
@@ -164,13 +152,17 @@ type Directory struct {
 }
 
 // New creates a standalone directory for node n with its own table,
-// using the default 64-byte line size. Views that should share storage
-// (the per-node directories of one machine) use NewShared instead.
-func New(n int) *Directory { return NewShared(n, NewTable(64)) }
+// using the default 64-byte line size and a 64-processor full-map
+// sharer representation. Views that should share storage (the per-node
+// directories of one machine) use NewShared instead.
+func New(n int) *Directory { return NewShared(n, NewTable(64, 64, FullMap)) }
 
 // NewShared creates node n's view of an existing table. All views
 // sharing a table must be Reset together (machine.FlushCaches does).
 func NewShared(n int, t *Table) *Directory { return &Directory{Node: n, t: t} }
+
+// Store returns the interpreter for this directory's Sharers words.
+func (d *Directory) Store() *Store { return &d.t.store }
 
 // Entry returns the entry for line-aligned address line, creating an
 // Uncached entry on first touch.
@@ -187,7 +179,7 @@ func (d *Directory) Entry(line mem.Addr) *Entry {
 	}
 	e := &t.entries[idx]
 	if e.epoch != t.cur {
-		*e = Entry{epoch: t.cur, home: uint8(d.Node)}
+		*e = Entry{epoch: t.cur, home: uint16(d.Node)}
 		d.count++
 	}
 	return e
@@ -216,12 +208,18 @@ func (d *Directory) Reset() {
 	d.count = 0
 }
 
+// ResetView zeroes this view's line count without touching the shared
+// table. For machines with many views of one table, the owner resets
+// the table once and clears every sibling view with this (resetting
+// each view would burn one table epoch per node).
+func (d *Directory) ResetView() { d.count = 0 }
+
 // ForEach calls fn for every line tracked by this view, in increasing
 // address order. The dense table makes the walk deterministic without
 // collecting and sorting keys: index order is address order.
 func (d *Directory) ForEach(fn func(line mem.Addr, e *Entry)) {
 	t := d.t
-	node := uint8(d.Node)
+	node := uint16(d.Node)
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.epoch == t.cur && e.home == node {
@@ -231,12 +229,30 @@ func (d *Directory) ForEach(fn func(line mem.Addr, e *Entry)) {
 }
 
 // AddSharer transitions the entry for a read fill by processor p.
-func (e *Entry) AddSharer(p int) {
-	e.Sharers = e.Sharers.Add(p)
+func (d *Directory) AddSharer(e *Entry, p int) {
+	e.Sharers = d.t.store.Add(e.Sharers, p)
 	e.State = Shared
 }
 
+// HasSharer reports whether the entry's sharer set contains p.
+func (d *Directory) HasSharer(e *Entry, p int) bool { return d.t.store.Has(e.Sharers, p) }
+
+// OnlySharer reports whether p is the entry's single sharer.
+func (d *Directory) OnlySharer(e *Entry, p int) bool { return d.t.store.Only(e.Sharers, p) }
+
+// NoSharers reports whether the entry's sharer set is empty.
+func (d *Directory) NoSharers(e *Entry) bool { return d.t.store.Empty(e.Sharers) }
+
+// SharerCount returns the size of the entry's represented sharer set.
+func (d *Directory) SharerCount(e *Entry) int { return d.t.store.Count(e.Sharers) }
+
+// ForEachSharer calls fn for each processor in the entry's represented
+// sharer set, in increasing ID order.
+func (d *Directory) ForEachSharer(e *Entry, fn func(p int)) { d.t.store.ForEach(e.Sharers, fn) }
+
 // SetDirty transitions the entry for an exclusive fill by processor p.
+// The previous sharer-set word is dropped, not cleared: a spilled slab
+// handle dies here and is reclaimed by the next Table.Reset.
 func (e *Entry) SetDirty(p int) {
 	e.State = Dirty
 	e.Owner = int16(p)

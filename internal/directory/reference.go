@@ -8,18 +8,22 @@ import (
 )
 
 // RefEntry is the reference directory's per-line state: the same
-// State/Sharers/Owner triple as Entry, without the dense table's packing
-// or epoch plumbing.
+// State/Sharers/Owner triple as Entry, with the sharer set held as an
+// obviously-correct map of true sharers instead of a packed word. A nil
+// map is the empty set.
 type RefEntry struct {
 	State   State
-	Sharers Sharers
+	Sharers map[int]bool
 	Owner   int
 }
 
 // Reference is the map-backed directory implementation the dense Table
 // replaced. It is retained for differential testing: drive both
 // implementations with the same transactions and assert entry-for-entry
-// equivalence (see internal/check and the directory tests).
+// equivalence (see internal/check and the directory tests). Because the
+// reference always tracks the exact sharer set, comparing against it
+// also validates the coarse-vector mode's superset guarantee: the dense
+// set may widen, but must never drop a true sharer.
 type Reference struct {
 	Node    int
 	entries map[mem.Addr]*RefEntry
@@ -63,9 +67,12 @@ func (r *Reference) ForEach(fn func(line mem.Addr, e *RefEntry)) {
 	}
 }
 
-// AddSharer mirrors Entry.AddSharer.
+// AddSharer mirrors Directory.AddSharer.
 func (e *RefEntry) AddSharer(p int) {
-	e.Sharers = e.Sharers.Add(p)
+	if e.Sharers == nil {
+		e.Sharers = make(map[int]bool)
+	}
+	e.Sharers[p] = true
 	e.State = Shared
 }
 
@@ -73,30 +80,73 @@ func (e *RefEntry) AddSharer(p int) {
 func (e *RefEntry) SetDirty(p int) {
 	e.State = Dirty
 	e.Owner = p
-	e.Sharers = 0
+	e.Sharers = nil
 }
 
 // ClearToUncached mirrors Entry.ClearToUncached.
 func (e *RefEntry) ClearToUncached() {
 	e.State = Uncached
-	e.Sharers = 0
+	e.Sharers = nil
 	e.Owner = 0
 }
 
-// Matches reports whether the dense entry e and reference entry re agree,
-// treating a nil re as an implicitly Uncached line (the reference only
-// materializes touched lines, and an Uncached dense entry carries no
-// state worth distinguishing from absence).
-func Matches(e *Entry, re *RefEntry) error {
+// CopyFrom overwrites the reference entry with the dense entry's state,
+// decoded through st. Used by mirror-building tests that snapshot dense
+// state rather than replaying logical operations.
+func (e *RefEntry) CopyFrom(st *Store, de *Entry) {
+	e.State = de.State
+	e.Owner = int(de.Owner)
+	e.Sharers = nil
+	st.ForEach(de.Sharers, func(p int) {
+		if e.Sharers == nil {
+			e.Sharers = make(map[int]bool)
+		}
+		e.Sharers[p] = true
+	})
+}
+
+// Matches reports whether the dense entry e (decoded through st) and
+// reference entry re agree, treating a nil re as an implicitly Uncached
+// line (the reference only materializes touched lines, and an Uncached
+// dense entry carries no state worth distinguishing from absence).
+//
+// The sharer-set comparison encodes the invalidation-safety contract:
+// every true sharer in the reference must appear in the dense set (an
+// invalidation fan-out over the dense set can never miss a cached
+// copy), and whenever the dense representation claims exactness — always
+// in full-map mode, and in coarse mode until pointer overflow widens
+// groups — the sets must be equal, so the superset never hides a
+// dropped-then-silently-readded sharer.
+func Matches(st *Store, e *Entry, re *RefEntry) error {
 	if re == nil {
-		if e.State != Uncached || e.Sharers != 0 {
+		if e.State != Uncached || !st.Empty(e.Sharers) {
 			return fmt.Errorf("dense entry %+v has state but reference has none", *e)
 		}
 		return nil
 	}
-	if e.State != re.State || e.Sharers != re.Sharers || int(e.Owner) != re.Owner {
-		return fmt.Errorf("dense {state %v sharers %b owner %d} != reference {state %v sharers %b owner %d}",
-			e.State, e.Sharers, e.Owner, re.State, re.Sharers, re.Owner)
+	if e.State != re.State || int(e.Owner) != re.Owner {
+		return fmt.Errorf("dense {state %v owner %d} != reference {state %v owner %d}",
+			e.State, e.Owner, re.State, re.Owner)
+	}
+	for p := range re.Sharers {
+		if !st.Has(e.Sharers, p) {
+			return fmt.Errorf("dense sharer set %v dropped true sharer %d (reference %v)",
+				st.Members(e.Sharers), p, refMembers(re))
+		}
+	}
+	if st.IsExact(e.Sharers) && st.Count(e.Sharers) != len(re.Sharers) {
+		return fmt.Errorf("dense sharer set %v claims exactness but reference is %v",
+			st.Members(e.Sharers), refMembers(re))
 	}
 	return nil
+}
+
+// refMembers lists a reference entry's sharers in ascending order.
+func refMembers(re *RefEntry) []int {
+	out := make([]int, 0, len(re.Sharers))
+	for p := range re.Sharers {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
 }

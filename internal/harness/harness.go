@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"text/tabwriter"
 
+	"specrt/internal/directory"
 	"specrt/internal/interconnect"
 	"specrt/internal/loops"
 	"specrt/internal/mem"
@@ -55,6 +56,14 @@ type Harness struct {
 	// network/placement configuration.
 	Topology  interconnect.Kind
 	Placement mem.Placement
+
+	// MeshW/MeshH force an explicit WxH mesh shape when Topology is the
+	// mesh (zero = the near-square auto shape), and DirMode selects the
+	// directory sharer representation (full-map by default; coarse
+	// enables the limited-pointer/coarse-vector directory). Like
+	// Topology, they apply to every figure cell.
+	MeshW, MeshH int
+	DirMode      directory.Mode
 
 	par int           // worker-pool size
 	sem chan struct{} // bounds concurrently running simulations
@@ -134,6 +143,9 @@ func (h *Harness) Result(name string, mode run.Mode, procs int) *run.Result {
 			MaxExecutions: maxExec,
 			Topology:      h.Topology,
 			Placement:     h.Placement,
+			MeshW:         h.MeshW,
+			MeshH:         h.MeshH,
+			DirMode:       h.DirMode,
 		})
 		h.simulated.Add(1)
 	})
@@ -309,7 +321,8 @@ func (h *Harness) Fig13() Fig13Result {
 			procs = 8
 		}
 		cfg := run.Config{Procs: procs, Contention: true,
-			Topology: h.Topology, Placement: h.Placement}
+			Topology: h.Topology, Placement: h.Placement,
+			MeshW: h.MeshW, MeshH: h.MeshH, DirMode: h.DirMode}
 		switch slot {
 		case 0:
 			cfg.Procs, cfg.Mode = 1, run.Serial

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"specrt/internal/directory"
+	"specrt/internal/interconnect"
+)
+
+func TestWideProcsUpTo(t *testing.T) {
+	if got := WideProcsUpTo(0); !reflect.DeepEqual(got, WideProcs) {
+		t.Errorf("UpTo(0) = %v, want full ladder", got)
+	}
+	if got := WideProcsUpTo(256); !reflect.DeepEqual(got, []int{64, 256}) {
+		t.Errorf("UpTo(256) = %v, want [64 256]", got)
+	}
+	if got := WideProcsUpTo(100); !reflect.DeepEqual(got, []int{64}) {
+		t.Errorf("UpTo(100) = %v, want [64]", got)
+	}
+	// Below the ladder's smallest rung the cap itself becomes the ladder.
+	if got := WideProcsUpTo(32); !reflect.DeepEqual(got, []int{32}) {
+		t.Errorf("UpTo(32) = %v, want [32]", got)
+	}
+}
+
+func TestAblationWideGrid(t *testing.T) {
+	h := New(Quick)
+	rows := h.AblationWide([]int{64})
+	if len(rows) != 8 { // 1 proc count x 2 workloads x 2 dir modes x 2 topologies
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.Cycles <= 0 {
+			t.Errorf("%s/%d/%v/%v: cycles = %d", r.Workload, r.Procs, r.Dir, r.Topology, r.Cycles)
+		}
+		if r.Net.Messages == 0 {
+			t.Errorf("%s/%d/%v/%v: no network messages", r.Workload, r.Procs, r.Dir, r.Topology)
+		}
+	}
+	// Cells are independent deterministic simulations: a second harness
+	// reproduces the table exactly regardless of pool scheduling.
+	again := NewParallel(Quick, 1).AblationWide([]int{64})
+	if !reflect.DeepEqual(rows, again) {
+		t.Fatal("wide ablation not deterministic across pool sizes")
+	}
+}
+
+func TestWideCoarseSupersetTraffic(t *testing.T) {
+	// The generated loop accumulates >4 sharers on its hot lines between
+	// writes, so the coarse vector overflows to group granularity and
+	// must invalidate a superset: strictly more invalidations than the
+	// exact full-map directory at the same width.
+	h := New(Quick)
+	full := h.WideCell("gen", 256, directory.FullMap, interconnect.Mesh)
+	coarse := h.WideCell("gen", 256, directory.Coarse, interconnect.Mesh)
+	if coarse.Invals <= full.Invals {
+		t.Fatalf("coarse invals = %d, want > full-map's %d", coarse.Invals, full.Invals)
+	}
+}
+
+func TestAblationWideOutput(t *testing.T) {
+	h := New(Quick)
+	var buf bytes.Buffer
+	rows := h.PrintAblationWide(&buf, []int{64})
+	out := buf.String()
+	for _, want := range []string{"wide-scale", "workload", "full-map", "coarse", "mesh", "crossbar"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := (WideResult{Rows: rows}).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(rows)+1 {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), len(rows)+1)
+	}
+	if lines[0] != "workload,procs,directory,topology,cycles,invals,messages,link_wait_mean,max_home_queue" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}

@@ -18,6 +18,8 @@ package interconnect
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"specrt/internal/sim"
 )
@@ -109,6 +111,13 @@ type Config struct {
 	// crosses; it is what produces queueing delay. 0 selects
 	// DefaultLinkOcc.
 	LinkOcc sim.Time
+	// MeshW and MeshH give the Mesh topology an explicit rectangular
+	// shape (ignored by the other kinds). Both zero selects the smallest
+	// near-square grid holding Nodes, the historical default; otherwise
+	// both must be set and W*H must cover Nodes. Wide machines use this
+	// to study aspect ratio: a 64x16 mesh routes the same 1024 nodes
+	// with very different X-channel pressure than a 32x32 one.
+	MeshW, MeshH int
 }
 
 // withDefaults fills zero fields.
@@ -133,7 +142,57 @@ func (c Config) Validate() error {
 	if c.HopLat < 0 || c.LinkOcc < 0 {
 		return fmt.Errorf("interconnect: negative link parameters")
 	}
+	if (c.MeshW != 0) != (c.MeshH != 0) {
+		return fmt.Errorf("interconnect: mesh shape needs both dimensions, got %dx%d", c.MeshW, c.MeshH)
+	}
+	if c.MeshW < 0 || c.MeshH < 0 {
+		return fmt.Errorf("interconnect: negative mesh shape %dx%d", c.MeshW, c.MeshH)
+	}
+	if c.MeshW > 0 && c.MeshW*c.MeshH < c.Nodes {
+		return fmt.Errorf("interconnect: %dx%d mesh holds %d nodes, need %d",
+			c.MeshW, c.MeshH, c.MeshW*c.MeshH, c.Nodes)
+	}
 	return nil
+}
+
+// NodeCap returns the most nodes the configured topology can host, or 0
+// for no limit. Only an explicitly shaped mesh is bounded; every other
+// topology (and the auto-shaped mesh) sizes itself to Nodes.
+func (c Config) NodeCap() int {
+	if c.Kind == Mesh && c.MeshW > 0 {
+		return c.MeshW * c.MeshH
+	}
+	return 0
+}
+
+// ParseSpec parses a topology flag value of the form "kind" or
+// "mesh:WxH" into a partial Config (Kind and, for a shaped mesh, the
+// dimensions). "mesh:8x4" is a 32-node rectangle; a bare "mesh" keeps
+// the auto near-square shape.
+func ParseSpec(spec string) (Config, error) {
+	name, shape, shaped := strings.Cut(spec, ":")
+	kind, err := KindByName(name)
+	if err != nil {
+		return Config{}, err
+	}
+	c := Config{Kind: kind}
+	if !shaped {
+		return c, nil
+	}
+	if kind != Mesh {
+		return Config{}, fmt.Errorf("topology %q takes no shape (only mesh:WxH)", name)
+	}
+	ws, hs, ok := strings.Cut(shape, "x")
+	if ok {
+		c.MeshW, err = strconv.Atoi(ws)
+		if err == nil {
+			c.MeshH, err = strconv.Atoi(hs)
+		}
+	}
+	if !ok || err != nil || c.MeshW < 1 || c.MeshH < 1 {
+		return Config{}, fmt.Errorf("bad mesh shape %q (want WxH, e.g. mesh:8x4)", shape)
+	}
+	return c, nil
 }
 
 // Stats aggregates network traffic over a run. The Ideal topology has no

@@ -216,3 +216,73 @@ func TestMeshNonSquareNodeCounts(t *testing.T) {
 		}
 	}
 }
+
+func TestMeshExplicitShape(t *testing.T) {
+	// 8 nodes on a 8x1 line: node n sits at (n, 0), so 0→7 is 7 X hops —
+	// the auto near-square 3x3 grid puts node 7 at (1,2), 3 hops away.
+	n := MustNew(Config{Kind: Mesh, Nodes: 8, MeshW: 8, MeshH: 1, HopLat: 35, LinkOcc: 8})
+	if got := n.MinLatency(0, 7, 70); got != 7*35 {
+		t.Fatalf("8x1 MinLatency(0,7) = %d, want %d", got, 7*35)
+	}
+	auto := MustNew(Config{Kind: Mesh, Nodes: 8, HopLat: 35, LinkOcc: 8})
+	if got := auto.MinLatency(0, 7, 70); got != 3*35 {
+		t.Fatalf("auto-shape MinLatency(0,7) = %d, want %d", got, 3*35)
+	}
+	// A shaped mesh with spare capacity still routes every real pair.
+	wide := MustNew(Config{Kind: Mesh, Nodes: 6, MeshW: 4, MeshH: 2})
+	for from := 0; from < 6; from++ {
+		for to := 0; to < 6; to++ {
+			if got := wide.Send(from, to, 0, 70); got < 0 {
+				t.Fatalf("4x2 Send(%d,%d) = %d", from, to, got)
+			}
+		}
+	}
+}
+
+func TestMeshShapeValidation(t *testing.T) {
+	for _, c := range []Config{
+		{Kind: Mesh, Nodes: 16, MeshW: 4},             // half a shape
+		{Kind: Mesh, Nodes: 16, MeshH: 4},             // other half
+		{Kind: Mesh, Nodes: 16, MeshW: 3, MeshH: 4},   // too small
+		{Kind: Mesh, Nodes: 16, MeshW: -4, MeshH: -4}, // negative
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", c)
+		}
+	}
+	ok := Config{Kind: Mesh, Nodes: 16, MeshW: 8, MeshH: 2}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("Validate rejected %+v: %v", ok, err)
+	}
+	if got := ok.NodeCap(); got != 16 {
+		t.Fatalf("NodeCap = %d, want 16", got)
+	}
+	if got := (Config{Kind: Crossbar, Nodes: 16}).NodeCap(); got != 0 {
+		t.Fatalf("crossbar NodeCap = %d, want 0 (unbounded)", got)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Config
+	}{
+		{"ideal", Config{Kind: Ideal}},
+		{"", Config{Kind: Ideal}},
+		{"bus", Config{Kind: Bus}},
+		{"xbar", Config{Kind: Crossbar}},
+		{"mesh", Config{Kind: Mesh}},
+		{"mesh:8x4", Config{Kind: Mesh, MeshW: 8, MeshH: 4}},
+		{"mesh:64x16", Config{Kind: Mesh, MeshW: 64, MeshH: 16}},
+	} {
+		got, err := ParseSpec(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSpec(%q) = %+v, %v; want %+v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"torus", "mesh:", "mesh:8", "mesh:8x", "mesh:x4", "mesh:0x4", "mesh:-8x4", "bus:2x2"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded", bad)
+		}
+	}
+}

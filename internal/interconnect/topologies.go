@@ -88,7 +88,8 @@ func (x *xbarNet) Stats() Stats                                    { return aggr
 // queueing at each. Unloaded latency is therefore distance-dependent —
 // hops * HopLat — rather than the flat base cost; a neighbor is cheaper
 // than the paper's average hop, a corner-to-corner path dearer. Nodes map
-// onto the smallest near-square grid that holds them, row-major.
+// row-major onto the configured WxH rectangle, or onto the smallest
+// near-square grid that holds them when no shape is given.
 type meshNet struct {
 	w, h     int
 	hop, occ sim.Time
@@ -98,11 +99,14 @@ type meshNet struct {
 }
 
 func newMesh(c Config) *meshNet {
-	w := 1
-	for w*w < c.Nodes {
-		w++
+	w, h := c.MeshW, c.MeshH
+	if w == 0 {
+		w = 1
+		for w*w < c.Nodes {
+			w++
+		}
+		h = (c.Nodes + w - 1) / w
 	}
-	h := (c.Nodes + w - 1) / w
 	m := &meshNet{w: w, h: h, hop: c.HopLat, occ: c.LinkOcc}
 	// (w-1)*h horizontal channels and w*(h-1) vertical ones, each
 	// directed both ways.

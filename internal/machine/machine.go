@@ -90,6 +90,11 @@ type Config struct {
 	// and writeback traffic. Net.Nodes is filled from Procs; the zero
 	// value is the Ideal (constant-hop) topology of the paper.
 	Net interconnect.Config
+	// DirMode selects the directory's sharer-set representation: the
+	// zero value is the exact full-map vector (inline to 64 processors,
+	// multi-word above); Coarse is the limited-pointer/coarse-vector
+	// encoding that trades precision for one-word entries at any scale.
+	DirMode directory.Mode
 }
 
 // DefaultConfig returns the paper's machine: 200-MHz processors with a
@@ -107,8 +112,8 @@ func DefaultConfig(procs int) Config {
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
-	if c.Procs <= 0 || c.Procs > 64 {
-		return fmt.Errorf("machine: procs must be in [1,64], got %d", c.Procs)
+	if c.Procs <= 0 || c.Procs > directory.MaxProcs {
+		return fmt.Errorf("machine: procs must be in [1,%d], got %d", directory.MaxProcs, c.Procs)
 	}
 	if err := c.L1.Validate(); err != nil {
 		return err
@@ -309,7 +314,7 @@ func New(cfg Config) (*Machine, error) {
 		Dirs:      make([]*directory.Directory, cfg.Procs),
 		Home:      make([]sim.Server, cfg.Procs),
 		Net:       net,
-		DirTable:  directory.NewTable(cfg.L1.LineBytes),
+		DirTable:  directory.NewTable(cfg.L1.LineBytes, cfg.Procs, cfg.DirMode),
 		lineBytes: mem.Addr(cfg.L1.LineBytes),
 		msgq:      make([][]*pendingMsg, cfg.Procs*cfg.Procs),
 	}
@@ -428,8 +433,9 @@ func (m *Machine) FlushCaches() {
 			}
 		})
 	}
+	m.DirTable.Reset()
 	for _, d := range m.Dirs {
-		d.Reset()
+		d.ResetView()
 	}
 	m.ResetMessages()
 }

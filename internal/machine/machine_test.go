@@ -112,7 +112,8 @@ func TestReadSharing(t *testing.T) {
 	m.Read(1, a)
 	m.Read(2, a)
 	e := m.Dir(a)
-	if e.State != directory.Shared || !e.Sharers.Has(1) || !e.Sharers.Has(2) {
+	d := m.Dirs[m.HomeOf(a)]
+	if e.State != directory.Shared || !d.HasSharer(e, 1) || !d.HasSharer(e, 2) {
 		t.Fatalf("dir after two reads = %+v", *e)
 	}
 }
@@ -166,7 +167,8 @@ func TestDirtyReadDowngradesOwner(t *testing.T) {
 		t.Fatalf("owner copy after read by other = %+v", fr)
 	}
 	e := m.Dir(a)
-	if e.State != directory.Shared || !e.Sharers.Has(1) || !e.Sharers.Has(2) {
+	d := m.Dirs[m.HomeOf(a)]
+	if e.State != directory.Shared || !d.HasSharer(e, 1) || !d.HasSharer(e, 2) {
 		t.Fatalf("dir = %+v", *e)
 	}
 }
@@ -539,7 +541,7 @@ func TestPropertyCoherenceConsistency(t *testing.T) {
 				}
 				if e.State == directory.Shared {
 					for _, h := range hs {
-						if !e.Sharers.Has(h.proc) {
+						if !m.Dirs[m.HomeOf(line)].HasSharer(e, h.proc) {
 							return false
 						}
 					}

@@ -196,7 +196,7 @@ func (m *Machine) FetchRead(p int, a mem.Addr, atHome HomeVisitFn) (sim.Time, er
 			wbOwner = owner
 		}
 		e.ClearToUncached()
-		e.AddSharer(owner)
+		m.Dirs[h].AddSharer(e, owner)
 		threeHop = true
 	}
 
@@ -211,7 +211,7 @@ func (m *Machine) FetchRead(p int, a mem.Addr, atHome HomeVisitFn) (sim.Time, er
 	} else {
 		m.Stats.Fetch2Hop++
 	}
-	e.AddSharer(p)
+	m.Dirs[h].AddSharer(e, p)
 	m.installBoth(p, line, cache.Clean, bits)
 	m.notify(TxFetchRead, p, line)
 	return lat + m.hopLatency(p, h, threeHop), nil
@@ -235,13 +235,18 @@ func (m *Machine) FetchWrite(p int, a mem.Addr, atHome HomeVisitFn) (sim.Time, e
 	upgrade := false
 	switch e.State {
 	case directory.Shared:
-		upgrade = e.Sharers.Has(p)
-		e.Sharers.ForEach(func(s int) {
+		d := m.Dirs[h]
+		upgrade = d.HasSharer(e, p)
+		// In coarse mode the represented set may be a superset of the
+		// true sharers; invalidating a non-holder is a harmless no-op at
+		// the cache (takeProcLine misses) but is still counted as sent,
+		// which is exactly the extra traffic the coarse vector costs.
+		d.ForEachSharer(e, func(s int) {
 			if s == p {
 				return
 			}
 			m.Stats.Invalidations++
-			m.Dirs[h].Stats.Invalidations++
+			d.Stats.Invalidations++
 			m.takeProcLine(s, line)
 		})
 	case directory.Dirty:

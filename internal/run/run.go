@@ -15,6 +15,7 @@ import (
 
 	"specrt/internal/core"
 	"specrt/internal/cpu"
+	"specrt/internal/directory"
 	"specrt/internal/interconnect"
 	"specrt/internal/lrpd"
 	"specrt/internal/machine"
@@ -181,6 +182,21 @@ type Config struct {
 	// (every page homed on node 0 — the hotspot case). Serial executions
 	// always place data local to the single processor.
 	Placement mem.Placement
+	// DirMode selects the directory's sharer-set representation: the
+	// default full-map vector is exact at any processor count (inline to
+	// 64 processors, multi-word arena slabs above), while
+	// directory.Coarse is the limited-pointer/coarse-vector encoding
+	// whose overflow invalidates whole processor groups.
+	DirMode directory.Mode
+	// MeshW and MeshH give the Mesh topology an explicit rectangular
+	// shape (both-or-neither; zero keeps the near-square default). When
+	// set, the shape also caps Procs — see validate.
+	MeshW, MeshH int
+	// L1Bytes and L2Bytes override the per-processor cache sizes
+	// (0 keeps the paper's 32KB/512KB, §5.1). Wide-scale runs shrink
+	// them so a 1024-processor machine's cache metadata stays within
+	// memory while per-line behaviour is still exercised.
+	L1Bytes, L2Bytes int
 }
 
 // Result reports one Execute call.
@@ -326,8 +342,23 @@ func validate(w *Workload, cfg Config) error {
 	if cfg.Procs <= 0 {
 		return fmt.Errorf("run: need at least one processor")
 	}
-	if cfg.Procs > 64 {
-		return fmt.Errorf("run: procs must be in [1,64], got %d", cfg.Procs)
+	if cfg.Procs > directory.MaxProcs {
+		return fmt.Errorf("run: procs must be in [1,%d], got %d", directory.MaxProcs, cfg.Procs)
+	}
+	ncfg := interconnect.Config{
+		Kind: cfg.Topology, Nodes: cfg.Procs, MeshW: cfg.MeshW, MeshH: cfg.MeshH,
+	}
+	if cap := ncfg.NodeCap(); cap > 0 && cfg.Procs > cap {
+		// Without this check the mismatch would only surface deep in XY
+		// routing; fail up front and name the topology's bound.
+		return fmt.Errorf("run: procs must be in [1,%d] on a %dx%d mesh, got %d",
+			cap, cfg.MeshW, cfg.MeshH, cfg.Procs)
+	}
+	if err := ncfg.Validate(); err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	if cfg.L1Bytes < 0 || cfg.L2Bytes < 0 {
+		return fmt.Errorf("run: negative cache size override")
 	}
 	if cfg.Mode == SW && w.SWProcWise {
 		k := schedFor(w, cfg).Kind

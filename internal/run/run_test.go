@@ -1,9 +1,12 @@
 package run
 
 import (
+	"strings"
 	"testing"
 
 	"specrt/internal/core"
+	"specrt/internal/directory"
+	"specrt/internal/interconnect"
 	"specrt/internal/lrpd"
 	"specrt/internal/sched"
 )
@@ -370,8 +373,22 @@ func TestValidation(t *testing.T) {
 	if _, err := Execute(pw, cfgFor(SW, 2)); err == nil {
 		t.Fatal("processor-wise with dynamic scheduling accepted")
 	}
-	if _, err := Execute(good, Config{Procs: 100, Mode: HW}); err == nil {
-		t.Fatal("procs=100 accepted (machine supports at most 64)")
+	if _, err := Execute(good, Config{Procs: directory.MaxProcs + 1, Mode: HW}); err == nil {
+		t.Fatalf("procs=%d accepted (machine supports at most %d)", directory.MaxProcs+1, directory.MaxProcs)
+	}
+	// A shaped mesh caps the processor count; the error names the bound.
+	_, err := Execute(good, Config{Procs: 32, Mode: HW, Topology: interconnect.Mesh, MeshW: 4, MeshH: 4})
+	if err == nil {
+		t.Fatal("procs=32 on a 4x4 mesh accepted")
+	}
+	if !strings.Contains(err.Error(), "[1,16]") {
+		t.Fatalf("capacity error does not name the 16-node bound: %v", err)
+	}
+	if _, err := Execute(good, Config{Procs: 16, Mode: HW, Topology: interconnect.Mesh, MeshW: 4}); err == nil {
+		t.Fatal("half-specified mesh shape accepted")
+	}
+	if _, err := Execute(good, Config{Procs: 1, Mode: Serial, L1Bytes: -1}); err == nil {
+		t.Fatal("negative cache override accepted")
 	}
 }
 

@@ -1,6 +1,7 @@
 package run
 
 import (
+	"fmt"
 	"sync"
 
 	"specrt/internal/arena"
@@ -83,6 +84,14 @@ func newSession(w *Workload, cfg Config) *session {
 	mcfg.Contention = cfg.Contention
 	mcfg.StallWrites = cfg.StallWrites
 	mcfg.Net.Kind = cfg.Topology
+	mcfg.Net.MeshW, mcfg.Net.MeshH = cfg.MeshW, cfg.MeshH
+	mcfg.DirMode = cfg.DirMode
+	if cfg.L1Bytes > 0 {
+		mcfg.L1.SizeBytes = cfg.L1Bytes
+	}
+	if cfg.L2Bytes > 0 {
+		mcfg.L2.SizeBytes = cfg.L2Bytes
+	}
 	if cfg.HomeOccMultiplier > 1 {
 		mcfg.Lat.HomeOccLine *= cfg.HomeOccMultiplier
 		mcfg.Lat.HomeOccMsg *= cfg.HomeOccMultiplier
@@ -197,7 +206,7 @@ func (s *session) setupSW() {
 }
 
 func nameP(arr, kind string, p int) string {
-	return arr + "." + kind + string(rune('0'+p/10)) + string(rune('0'+p%10))
+	return fmt.Sprintf("%s.%s%02d", arr, kind, p)
 }
 
 // opBufPool and instrBufPool recycle the big growth buffers (access
@@ -411,7 +420,7 @@ func (s *session) serialReexec(exec int) (sim.Time, cpu.Breakdown) {
 		Body:       func(_, iter int, c *Ctx) { s.w.Body(exec, iter, c) },
 	}
 	r := MustExecute(w1, Config{Procs: 1, Mode: Serial, Contention: s.cfg.Contention,
-		Topology: s.cfg.Topology})
+		Topology: s.cfg.Topology, L1Bytes: s.cfg.L1Bytes, L2Bytes: s.cfg.L2Bytes})
 	return r.Cycles, r.Breakdown
 }
 

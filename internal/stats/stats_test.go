@@ -5,7 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"specrt/internal/core"
 	"specrt/internal/cpu"
+	"specrt/internal/interconnect"
 	"specrt/internal/run"
 )
 
@@ -96,5 +98,51 @@ func TestMean(t *testing.T) {
 	}
 	if m := Mean(nil); m != 0 {
 		t.Fatalf("mean(nil) = %f", m)
+	}
+}
+
+// TestNetworkWideMachine is the 128-processor regression test for the
+// queueing reports: every counter that involves a node index must come
+// from proc-count-sized state, so a machine past the one-word sharer
+// spill point reports sane home/link figures (this would crash or
+// truncate if anything still assumed 64 processors).
+func TestNetworkWideMachine(t *testing.T) {
+	const procs = 128
+	w := &run.Workload{
+		Name:       "wide-net",
+		Executions: 1,
+		Iterations: func(int) int { return 4 * procs },
+		Arrays: []run.ArraySpec{
+			{Name: "A", Elems: 4 * procs, ElemSize: 4, Test: core.NonPriv},
+		},
+		Body: func(_, iter int, c *run.Ctx) {
+			c.Load(0, iter)
+			c.Store(0, iter)
+			c.Compute(10)
+		},
+	}
+	r := run.MustExecute(w, run.Config{
+		Procs:      procs,
+		Mode:       run.HW,
+		Contention: true,
+		Topology:   interconnect.Mesh,
+		L1Bytes:    8 * 1024,
+		L2Bytes:    64 * 1024,
+	})
+	if r.Procs != procs || r.Cycles <= 0 {
+		t.Fatalf("wide run: procs=%d cycles=%d", r.Procs, r.Cycles)
+	}
+	n := Network(r)
+	if n.Messages == 0 {
+		t.Fatal("mesh run routed no messages")
+	}
+	if r.HomeQueue.MaxQueueHome < 0 || r.HomeQueue.MaxQueueHome >= procs {
+		t.Fatalf("MaxQueueHome %d outside [0,%d)", r.HomeQueue.MaxQueueHome, procs)
+	}
+	if n.MaxHomeQueue < 1 || n.MaxLinkQueue < 1 {
+		t.Fatalf("queue depths never tracked: %+v", n)
+	}
+	if n.LinkBusyFrac <= 0 || n.LinkWaitMean < 0 || n.HomeStallFrac < 0 || n.HomeStallFrac > 1 {
+		t.Fatalf("derived fractions out of range: %+v", n)
 	}
 }
