@@ -12,10 +12,13 @@ package specrt_test
 // recorded in EXPERIMENTS.md.
 
 import (
+	"encoding/json"
 	"io"
+	"net/http/httptest"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"specrt"
 
@@ -27,6 +30,7 @@ import (
 	"specrt/internal/machine"
 	"specrt/internal/mem"
 	"specrt/internal/run"
+	"specrt/internal/server"
 	"specrt/internal/sim"
 )
 
@@ -303,6 +307,51 @@ func pickAdm() *run.Workload {
 }
 
 // ----- Feature benchmarks (extensions beyond the figures) -----
+
+func BenchmarkServerSubmitCached(b *testing.B) {
+	// The specrtd hot path: a duplicate submission served synchronously
+	// from the content-hash cache — JSON decode, canonicalize, SHA-256,
+	// LRU lookup. No simulation runs inside the timed loop.
+	srv := server.New(server.Options{Scale: harness.Quick})
+	h := srv.Handler()
+	const body = `{"workload":"Track","mode":"hw","procs":4}`
+	submit := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(body))
+		req.Header.Set("X-Tenant", "bench")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	rec := submit()
+	var sub server.SubmitResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sub); err != nil {
+		b.Fatal(err)
+	}
+	for { // wait for the one real simulation to land in the cache
+		req := httptest.NewRequest("GET", "/v1/jobs/"+sub.ID, nil)
+		st := httptest.NewRecorder()
+		h.ServeHTTP(st, req)
+		var status server.StatusResponse
+		if err := json.Unmarshal(st.Body.Bytes(), &status); err != nil {
+			b.Fatal(err)
+		}
+		if status.Status == "done" {
+			break
+		}
+		if status.Status == "failed" {
+			b.Fatalf("warm-up job failed: %s", status.Error)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := submit()
+		if rec.Code != 200 {
+			b.Fatalf("cached submit: status %d, want 200", rec.Code)
+		}
+	}
+}
 
 func BenchmarkEpochSynchronization(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -24,6 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -32,7 +33,11 @@ import (
 	"specrt/internal/directory"
 	"specrt/internal/harness"
 	"specrt/internal/interconnect"
+	"specrt/internal/loops"
 	"specrt/internal/mem"
+	"specrt/internal/run"
+	"specrt/internal/server"
+	"specrt/internal/stats"
 )
 
 func main() {
@@ -42,11 +47,18 @@ func main() {
 	topoFlag := flag.String("topology", "ideal", "interconnect topology: ideal, bus, crossbar, mesh or mesh:WxH")
 	placeFlag := flag.String("placement", "round-robin", "page placement: round-robin, blocked or local")
 	dirFlag := flag.String("dirmode", "full-map", "directory sharer representation: full-map or coarse")
-	procsFlag := flag.Int("procs", 0, "wide command: largest processor count of the scaling ladder (0 = 1024)")
+	procsFlag := flag.Int("procs", 0, "wide command: largest processor count of the scaling ladder (0 = 1024); job command: processor count")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	serverFlag := flag.String("server", "", "job command: specrtd base URL (empty = execute locally)")
+	tenantFlag := flag.String("tenant", "", "job command: X-Tenant sent to the server")
+	workloadFlag := flag.String("workload", "Track", "job command: workload name (Ocean|P3m|Adm|Track)")
+	modeFlag := flag.String("mode", "hw", "job command: execution scheme (serial|ideal|sw|hw)")
+	schedFlag := flag.String("sched", "", "job command: schedule override (static|dynamic:N|block-cyclic:N)")
+	maxExecFlag := flag.Int("maxexec", 0, "job command: cap simulated loop executions (0 = scale default)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [-scale quick|default|paper] [-parallel N] [-topology T] [-placement P] [-dirmode D] [-procs N] [latencies|fig11|fig12|fig13|fig14|stats|network|wide|ablations|all]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "       %s [-server URL] [-workload W] [-mode M] [-procs N] [-topology T] [-placement P] [-dirmode D] [-sched S] [-maxexec N] job\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -124,6 +136,25 @@ func main() {
 		}
 	}
 	switch cmd {
+	case "job":
+		procs := *procsFlag
+		if procs == 0 {
+			procs = loops.Procs(*workloadFlag)
+		}
+		req := server.JobRequest{
+			Workload:      *workloadFlag,
+			Mode:          *modeFlag,
+			Procs:         procs,
+			Topology:      *topoFlag,
+			Placement:     *placeFlag,
+			DirMode:       *dirFlag,
+			Sched:         *schedFlag,
+			MaxExecutions: *maxExecFlag,
+		}
+		if err := runJob(out, req, *serverFlag, *tenantFlag, sc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	case "latencies":
 		if csvMode {
 			checkCSV(harness.WriteLatenciesCSV(out))
@@ -183,4 +214,44 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runJob executes one simulation job and writes the encoded report. With
+// a server URL the CLI is a thin client — submit, poll, fetch — and the
+// bytes written are identical to what the local path produces for the
+// same spec at the same scale (the server guarantees it; the CI e2e job
+// asserts it).
+func runJob(out io.Writer, req server.JobRequest, serverURL, tenant string, sc harness.Scale) error {
+	if serverURL != "" {
+		cl := &server.Client{BaseURL: serverURL, Tenant: tenant}
+		sub, err := cl.Submit(req)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "specrt: job %s %s (cached=%t)\n", sub.ID, sub.Status, sub.Cached)
+		b, err := cl.WaitResult(sub.ID)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(b)
+		return err
+	}
+	spec, err := req.Spec()
+	if err != nil {
+		return err
+	}
+	w, cfg, err := harness.ResolveJob(spec, sc)
+	if err != nil {
+		return err
+	}
+	res, err := run.Execute(w, cfg)
+	if err != nil {
+		return err
+	}
+	b, err := stats.ReportOf(res).Encode()
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(b)
+	return err
 }

@@ -1,0 +1,89 @@
+// Command specrtd is the long-running simulation-as-a-service server:
+// it accepts simulation jobs over HTTP/JSON, executes them on a bounded
+// worker pool with in-flight deduplication, and memoizes results in a
+// content-hash LRU cache so repeated configs are cache hits instead of
+// re-simulations. See internal/server for the API.
+//
+// Usage:
+//
+//	specrtd [-addr HOST:PORT] [-scale quick|default|paper] [-parallel N]
+//	        [-queue N] [-tenant-inflight N] [-cache N] [-grace DUR]
+//
+// On SIGTERM/SIGINT the server drains gracefully: new submissions are
+// refused with 503, every accepted job runs to completion and stays
+// pollable for -grace, then the process exits 0. No accepted job is
+// ever lost to a shutdown.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"specrt/internal/harness"
+	"specrt/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8091", "listen address")
+	scaleFlag := flag.String("scale", "quick", "experiment scale jobs resolve against: quick, default or paper")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = all host cores)")
+	queue := flag.Int("queue", 64, "global job-queue depth (full queue sheds with 429)")
+	tenantInflight := flag.Int("tenant-inflight", 16, "per-tenant queued+running job cap")
+	cacheEntries := flag.Int("cache", 1024, "result-cache capacity (LRU entries)")
+	grace := flag.Duration("grace", 3*time.Second, "time results stay pollable after the drain finishes")
+	flag.Parse()
+
+	sc, err := harness.ScaleByName(*scaleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(server.Options{
+		Scale:          sc,
+		Parallel:       *parallel,
+		QueueDepth:     *queue,
+		TenantInflight: *tenantInflight,
+		CacheEntries:   *cacheEntries,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("specrtd: serving on http://%s (scale %s, %d workers, queue %d, cache %d)",
+		ln.Addr(), sc.Name, srv.Runner().Parallelism(), *queue, *cacheEntries)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("specrtd: %v received, draining", sig)
+		finished := srv.Drain()
+		log.Printf("specrtd: drain complete: %d jobs finished during drain, 0 lost", finished)
+		// Keep results pollable briefly so clients that observed the
+		// drain can still collect, then shut the listener down.
+		time.Sleep(*grace)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("specrtd: shutdown: %v", err)
+		}
+		<-errc // Serve has returned
+		fmt.Println("specrtd: clean exit")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}

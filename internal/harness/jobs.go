@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"specrt/internal/loops"
+	"specrt/internal/run"
+)
+
+// The job API lifts the figure-grid executor into a form a long-running
+// service can use: arbitrary (workload, run.Config) pairs instead of the
+// fixed figure cells, content-hash keys instead of (name, mode, procs)
+// tuples, in-flight singleflight without the figure harness's permanent
+// memo (a server bounds its memory with an LRU above this layer), and
+// progress fan-out so every waiter of a collapsed duplicate observes the
+// one underlying simulation advance.
+
+// JobSpec identifies one simulation job: a paper workload by name plus
+// the full execution config.
+type JobSpec struct {
+	Workload string
+	Config   run.Config
+}
+
+// Key returns the job's content address: the workload name joined with
+// the canonical config hash. Jobs with equal keys are guaranteed to
+// produce byte-identical reports, so Key is safe to use as a result
+// cache key.
+func (s JobSpec) Key() string {
+	return s.Workload + "/" + s.Config.Hash()
+}
+
+// WorkloadByName resolves a paper loop at a scale, returning the
+// workload and the scale's execution cap (0 = no cap). It is the
+// non-panicking, exported form of the figure harness's resolver.
+func WorkloadByName(name string, sc Scale) (*run.Workload, int, error) {
+	switch name {
+	case "Ocean":
+		return loops.Ocean(), sc.OceanExecs, nil
+	case "P3m":
+		return loops.P3m(sc.P3mIters), 0, nil
+	case "Adm":
+		return loops.Adm(), sc.AdmExecs, nil
+	case "Track":
+		return loops.Track(), sc.TrackExecs, nil
+	}
+	return nil, 0, fmt.Errorf("unknown workload %q (Ocean|P3m|Adm|Track)", name)
+}
+
+// ResolveJob instantiates a spec at a scale: the workload is built and
+// the scale's execution cap folded into Config.MaxExecutions (the
+// smaller of the two wins, zero meaning uncapped). Local clients and the
+// server both resolve through here, so a job executed locally and the
+// same job executed remotely run the exact same effective config — the
+// basis of the byte-identical guarantee.
+func ResolveJob(spec JobSpec, sc Scale) (*run.Workload, run.Config, error) {
+	w, cap, err := WorkloadByName(spec.Workload, sc)
+	if err != nil {
+		return nil, run.Config{}, err
+	}
+	cfg := spec.Config
+	if cap > 0 && (cfg.MaxExecutions == 0 || cap < cfg.MaxExecutions) {
+		cfg.MaxExecutions = cap
+	}
+	return w, cfg, nil
+}
+
+// flight is one in-progress simulation with progress fan-out. Waiters of
+// collapsed duplicates subscribe; the simulating goroutine broadcasts.
+type flight struct {
+	done chan struct{}
+	res  *run.Result
+	err  error
+
+	mu        sync.Mutex
+	subs      []run.ProgressFunc
+	lastDone  int
+	lastTotal int
+}
+
+// subscribe registers a progress observer and replays the latest
+// observed progress so late joiners start current.
+func (f *flight) subscribe(p run.ProgressFunc) {
+	if p == nil {
+		return
+	}
+	f.mu.Lock()
+	f.subs = append(f.subs, p)
+	done, total := f.lastDone, f.lastTotal
+	f.mu.Unlock()
+	if total > 0 {
+		p(done, total)
+	}
+}
+
+// broadcast records and fans out one progress observation.
+func (f *flight) broadcast(done, total int) {
+	f.mu.Lock()
+	f.lastDone, f.lastTotal = done, total
+	subs := f.subs
+	f.mu.Unlock()
+	for _, p := range subs {
+		p(done, total)
+	}
+}
+
+// Runner executes arbitrary job specs on a bounded worker pool with
+// in-flight deduplication: concurrent Runs with equal keys collapse to
+// one simulation whose result every caller shares. Unlike the figure
+// harness, completed results are not retained — callers that want a
+// cache put one (e.g. an LRU keyed by JobSpec.Key) above the Runner, so
+// a long-running server's memory stays bounded.
+type Runner struct {
+	scale Scale
+	sem   chan struct{}
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+
+	simulated atomic.Int64
+}
+
+// NewRunner creates a job runner at the given scale; par <= 0 selects
+// one worker per host core.
+func NewRunner(sc Scale, par int) *Runner {
+	par = parallelism(par)
+	return &Runner{
+		scale:    sc,
+		sem:      make(chan struct{}, par),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Scale reports the scale jobs resolve against.
+func (r *Runner) Scale() Scale { return r.scale }
+
+// Parallelism reports the worker-pool size.
+func (r *Runner) Parallelism() int { return cap(r.sem) }
+
+// Simulated reports how many simulations actually executed — duplicate
+// Runs collapsed by singleflight do not count. Tests and the server's
+// metrics endpoint use it to verify deduplication.
+func (r *Runner) Simulated() int64 { return r.simulated.Load() }
+
+// Run executes spec (or joins an identical in-flight execution) and
+// returns the shared result. progress, if non-nil, observes the
+// underlying simulation's per-execution progress even when this call
+// joined a flight started by another caller. Invalid specs return an
+// error without consuming a worker slot.
+func (r *Runner) Run(spec JobSpec, progress run.ProgressFunc) (*run.Result, error) {
+	w, cfg, err := ResolveJob(spec, r.scale)
+	if err != nil {
+		return nil, err
+	}
+	key := spec.Key()
+	r.mu.Lock()
+	if f := r.inflight[key]; f != nil {
+		r.mu.Unlock()
+		f.subscribe(progress)
+		<-f.done
+		return f.res, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	r.inflight[key] = f
+	r.mu.Unlock()
+
+	f.subscribe(progress)
+	r.sem <- struct{}{}
+	f.res, f.err = run.ExecuteWithProgress(w, cfg, f.broadcast)
+	<-r.sem
+	if f.err == nil {
+		r.simulated.Add(1)
+	}
+	r.mu.Lock()
+	delete(r.inflight, key)
+	r.mu.Unlock()
+	close(f.done)
+	return f.res, f.err
+}

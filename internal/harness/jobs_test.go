@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"specrt/internal/run"
+)
+
+func quickSpec(mode run.Mode, procs int) JobSpec {
+	return JobSpec{Workload: "Track", Config: run.Config{Procs: procs, Mode: mode, Contention: true}}
+}
+
+// TestRunnerSingleflight: N concurrent submissions of one spec collapse
+// to a single simulation, and every caller shares the identical result.
+func TestRunnerSingleflight(t *testing.T) {
+	r := NewRunner(Quick, 4)
+	const callers = 8
+	results := make([]*run.Result, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Run(quickSpec(run.HW, 4), nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	// All callers raced to submit; at most a few flights can win (a
+	// caller arriving after a flight completed starts a fresh one), but
+	// with all goroutines launched before any finishes the expected and
+	// asserted collapse is to far fewer simulations than callers — and
+	// identical cycle counts regardless.
+	if n := r.Simulated(); n < 1 || n >= callers {
+		t.Fatalf("expected singleflight collapse, simulated %d of %d submissions", n, callers)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i].Cycles != results[0].Cycles {
+			t.Fatalf("caller %d saw different cycles: %d vs %d", i, results[i].Cycles, results[0].Cycles)
+		}
+	}
+}
+
+// TestRunnerDeterministicAcrossRunners: a fresh Runner re-simulates (no
+// permanent memo) and reproduces the same result bytes.
+func TestRunnerDeterministicAcrossRunners(t *testing.T) {
+	spec := quickSpec(run.SW, 4)
+	r1, err := NewRunner(Quick, 2).Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRunner(Quick, 2).Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Executions != r2.Executions {
+		t.Fatalf("independent runners disagree: %d/%d vs %d/%d",
+			r1.Cycles, r1.Executions, r2.Cycles, r2.Executions)
+	}
+}
+
+// TestRunnerProgress: the progress hook fires and ends complete.
+func TestRunnerProgress(t *testing.T) {
+	r := NewRunner(Quick, 1)
+	var last atomic.Int64
+	var total atomic.Int64
+	_, err := r.Run(quickSpec(run.Ideal, 4), func(done, tot int) {
+		last.Store(int64(done))
+		total.Store(int64(tot))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() == 0 || last.Load() != total.Load() {
+		t.Fatalf("progress ended at %d/%d, want complete", last.Load(), total.Load())
+	}
+}
+
+// TestRunnerErrors: unknown workloads and invalid configs report errors
+// without simulating.
+func TestRunnerErrors(t *testing.T) {
+	r := NewRunner(Quick, 1)
+	if _, err := r.Run(JobSpec{Workload: "Nope", Config: run.Config{Procs: 1}}, nil); err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+	if _, err := r.Run(JobSpec{Workload: "Track", Config: run.Config{Procs: 0}}, nil); err == nil {
+		t.Fatal("invalid config did not error")
+	}
+	if n := r.Simulated(); n != 0 {
+		t.Fatalf("error paths simulated %d jobs", n)
+	}
+}
+
+// TestResolveJobScaleCap: the scale's execution cap folds into the
+// effective config the same way for every caller.
+func TestResolveJobScaleCap(t *testing.T) {
+	spec := JobSpec{Workload: "Track", Config: run.Config{Procs: 2, Mode: run.HW}}
+	_, cfg, err := ResolveJob(spec, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxExecutions != Quick.TrackExecs {
+		t.Fatalf("scale cap not applied: MaxExecutions=%d want %d", cfg.MaxExecutions, Quick.TrackExecs)
+	}
+	spec.Config.MaxExecutions = 2 // tighter than the scale: keep it
+	_, cfg, err = ResolveJob(spec, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxExecutions != 2 {
+		t.Fatalf("explicit tighter cap overridden: MaxExecutions=%d", cfg.MaxExecutions)
+	}
+}

@@ -264,6 +264,12 @@ func Speedup(serial, parallel *Result) float64 {
 	return float64(serial.Cycles) / float64(parallel.Cycles)
 }
 
+// ProgressFunc observes per-execution progress of one Execute call:
+// done of total loop executions have completed. Hooks are invoked
+// synchronously on the simulating goroutine between executions; they
+// must not block for long and must not call back into the session.
+type ProgressFunc func(done, total int)
+
 // Execute simulates workload w under cfg.
 //
 // Each call builds a private engine, machine and controller, so Execute
@@ -272,6 +278,14 @@ func Speedup(serial, parallel *Result) float64 {
 // of internal/loops). Results are deterministic functions of (w, cfg):
 // the parallel harness executor depends on both properties.
 func Execute(w *Workload, cfg Config) (*Result, error) {
+	return ExecuteWithProgress(w, cfg, nil)
+}
+
+// ExecuteWithProgress is Execute with a per-execution progress hook
+// (nil behaves like Execute). Progress never influences the simulation:
+// results are byte-identical with and without a hook, so memoizing
+// executors can attach observers freely without splitting cache keys.
+func ExecuteWithProgress(w *Workload, cfg Config, progress ProgressFunc) (*Result, error) {
 	if err := validate(w, cfg); err != nil {
 		return nil, err
 	}
@@ -286,6 +300,9 @@ func Execute(w *Workload, cfg Config) (*Result, error) {
 	if cfg.MaxExecutions > 0 && cfg.MaxExecutions < execs {
 		execs = cfg.MaxExecutions
 	}
+	if progress != nil {
+		progress(0, execs)
+	}
 	consecFails := 0
 	for exec := 0; exec < execs; exec++ {
 		if cfg.AdaptiveAfter > 0 && cfg.Mode != Serial &&
@@ -296,6 +313,9 @@ func Execute(w *Workload, cfg Config) (*Result, error) {
 			res.Breakdown.Add(bd)
 			res.SerialFallbacks++
 			res.Executions++
+			if progress != nil {
+				progress(exec+1, execs)
+			}
 			continue
 		}
 		before := res.Failures + res.Exceptions
@@ -305,6 +325,9 @@ func Execute(w *Workload, cfg Config) (*Result, error) {
 			consecFails++
 		} else {
 			consecFails = 0
+		}
+		if progress != nil {
+			progress(exec+1, execs)
 		}
 	}
 	res.MachineStats = s.m.Stats
@@ -328,6 +351,11 @@ func MustExecute(w *Workload, cfg Config) *Result {
 	}
 	return r
 }
+
+// Validate checks a (workload, config) pair without simulating: the
+// same admission Execute performs. Services use it to turn bad requests
+// into immediate errors instead of failed jobs.
+func Validate(w *Workload, cfg Config) error { return validate(w, cfg) }
 
 func validate(w *Workload, cfg Config) error {
 	if w.Executions <= 0 {

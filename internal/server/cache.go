@@ -1,0 +1,73 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the bounded content-hash result cache: canonical job
+// key (harness.JobSpec.Key) → encoded stats.Report bytes, with LRU
+// eviction. Keys are content addresses of deterministic simulations, so
+// entries never go stale — eviction exists purely to bound memory in a
+// long-running server, and a re-computed entry is guaranteed to hold the
+// same bytes the evicted one did.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // key → element whose Value is *cacheEntry
+}
+
+type cacheEntry struct {
+	key   string
+	bytes []byte
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached bytes for key, refreshing its recency.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).bytes, true
+}
+
+// put stores bytes under key, evicting the least recently used entry
+// when the cache is full. Storing an existing key refreshes it (the
+// bytes are identical by construction).
+func (c *resultCache) put(key string, bytes []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).bytes = bytes
+		return
+	}
+	for c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, bytes: bytes})
+}
+
+// len reports the resident entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is the thin HTTP client the specrt CLI and the loadgen fleet
+// use to talk to a specrtd instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8091".
+	BaseURL string
+	// Tenant is sent as X-Tenant on submissions ("" = server default).
+	Tenant string
+	// HTTP is the underlying client (nil = http.DefaultClient).
+	HTTP *http.Client
+	// PollInterval paces WaitResult's status polling (0 = 20ms).
+	PollInterval time.Duration
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes the server's {"error": ...} body into a Go error.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return &APIError{Status: resp.StatusCode, Message: e.Error, RetryAfter: retryAfter(resp)}
+	}
+	return &APIError{Status: resp.StatusCode, Message: string(bytes.TrimSpace(body)), RetryAfter: retryAfter(resp)}
+}
+
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// APIError is a non-2xx server response.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d %s", e.Status, e.Message)
+}
+
+// Shed reports whether the request was load-shed (429) and may be
+// retried after e.RetryAfter.
+func (e *APIError) Shed() bool { return e.Status == http.StatusTooManyRequests }
+
+// Submit posts a job and returns the server's admission response.
+func (c *Client) Submit(req JobRequest) (SubmitResponse, error) {
+	var zero SubmitResponse
+	body, err := json.Marshal(req)
+	if err != nil {
+		return zero, err
+	}
+	hreq, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return zero, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if c.Tenant != "" {
+		hreq.Header.Set("X-Tenant", c.Tenant)
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return zero, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return zero, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var sub SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return zero, err
+	}
+	return sub, nil
+}
+
+// Status polls one job.
+func (c *Client) Status(id string) (StatusResponse, error) {
+	var zero StatusResponse
+	resp, err := c.http().Get(c.BaseURL + "/v1/jobs/" + id)
+	if err != nil {
+		return zero, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return zero, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var st StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return zero, err
+	}
+	return st, nil
+}
+
+// Result fetches the raw encoded report of a completed job — the exact
+// bytes a local run of the same spec at the same scale produces.
+func (c *Client) Result(id string) ([]byte, error) {
+	resp, err := c.http().Get(c.BaseURL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// WaitResult polls until the job completes and returns its raw report
+// bytes.
+func (c *Client) WaitResult(id string) ([]byte, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 20 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return nil, err
+		}
+		switch jobStatus(st.Status) {
+		case statusDone:
+			// Always fetch /result: embedding the report in the status
+			// JSON re-compacts it, and callers compare raw bytes.
+			return c.Result(id)
+		case statusFailed:
+			return nil, fmt.Errorf("job %s failed: %s", id, st.Error)
+		}
+		time.Sleep(interval)
+	}
+}
+
+// Healthz fetches the liveness state ("ok" or "draining").
+func (c *Client) Healthz() (string, error) {
+	resp, err := c.http().Get(c.BaseURL + "/healthz")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 256))
+	if err != nil {
+		return "", err
+	}
+	return string(bytes.TrimSpace(b)), nil
+}
+
+// Metrics fetches the raw metrics text.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.http().Get(c.BaseURL + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

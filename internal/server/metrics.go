@@ -1,0 +1,67 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the server's observability counters. Everything is an
+// atomic so the hot submission path never takes a metrics lock; the
+// /metrics endpoint renders a Prometheus-style text snapshot.
+type metrics struct {
+	submitted  atomic.Uint64 // jobs accepted (incl. cache hits)
+	completed  atomic.Uint64 // jobs finished successfully
+	failed     atomic.Uint64 // jobs whose simulation errored
+	shed       atomic.Uint64 // submissions rejected 429 (queue/tenant full)
+	drainedOff atomic.Uint64 // submissions rejected 503 (draining)
+	badRequest atomic.Uint64 // submissions rejected 400
+
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+
+	latency latencyHist
+}
+
+// latencyHist is a log2-bucketed histogram of job latency (submission to
+// completion) in milliseconds: bucket i counts jobs with latency
+// <= 2^i ms, the last bucket is +Inf.
+const latencyBuckets = 14 // 1ms .. 8192ms, then +Inf
+
+type latencyHist struct {
+	buckets [latencyBuckets + 1]atomic.Uint64
+	count   atomic.Uint64
+	sumMS   atomic.Uint64
+}
+
+// observe records one job latency.
+func (h *latencyHist) observe(d time.Duration) {
+	ms := uint64(d.Milliseconds())
+	i := 0
+	if ms > 1 {
+		i = bits.Len64(ms - 1) // ceil(log2(ms)): smallest i with ms <= 2^i
+	}
+	if i > latencyBuckets {
+		i = latencyBuckets
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumMS.Add(ms)
+}
+
+// write renders the histogram with cumulative Prometheus-style buckets.
+func (h *latencyHist) write(w io.Writer, name string) {
+	var cum uint64
+	for i := 0; i <= latencyBuckets; i++ {
+		cum += h.buckets[i].Load()
+		le := fmt.Sprintf("%d", uint64(1)<<i)
+		if i == latencyBuckets {
+			le = "+Inf"
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.sumMS.Load())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}

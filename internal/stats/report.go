@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"encoding/json"
+
+	"specrt/internal/cpu"
+	"specrt/internal/interconnect"
+	"specrt/internal/machine"
+	"specrt/internal/run"
+)
+
+// Report is the serializable form of a run.Result: every field is a
+// plain value encoding/json renders deterministically (struct fields in
+// declaration order, map keys sorted), so two identical simulations
+// produce byte-identical Encode output on any host. This is the wire
+// format the specrtd server caches and serves, and what the specrt
+// client prints in both local and remote modes — byte equality between
+// the two is the server's end-to-end correctness check.
+type Report struct {
+	Workload   string `json:"workload"`
+	Mode       string `json:"mode"`
+	Procs      int    `json:"procs"`
+	Executions int    `json:"executions"`
+
+	Cycles    int64         `json:"cycles"`
+	Breakdown BreakdownGist `json:"breakdown"`
+
+	Failures         int   `json:"failures"`
+	Exceptions       int   `json:"exceptions"`
+	SerialFallbacks  int   `json:"serial_fallbacks"`
+	FailDetectCycles int64 `json:"fail_detect_cycles"`
+
+	// Verdicts maps array name to the SW analysis verdict of the last
+	// execution (empty outside SW mode).
+	Verdicts map[string]string `json:"verdicts,omitempty"`
+	// FirstFailure describes the first hardware-detected dependence
+	// (HW mode, failing runs only).
+	FirstFailure *FailureGist `json:"first_failure,omitempty"`
+	// InvariantViolation carries the checker's first finding when the
+	// config requested invariant checking (empty otherwise).
+	InvariantViolation string `json:"invariant_violation,omitempty"`
+
+	MachineStats machine.Stats      `json:"machine_stats"`
+	CoreStats    CoreGist           `json:"core_stats"`
+	NetStats     interconnect.Stats `json:"net_stats"`
+	HomeQueue    machine.HomeStats  `json:"home_queue"`
+}
+
+// BreakdownGist is cpu.Breakdown with JSON names.
+type BreakdownGist struct {
+	Busy int64 `json:"busy"`
+	Mem  int64 `json:"mem"`
+	Sync int64 `json:"sync"`
+}
+
+// FailureGist flattens core.Failure with the reason as text.
+type FailureGist struct {
+	Reason string `json:"reason"`
+	Array  string `json:"array"`
+	Elem   int    `json:"elem"`
+	Proc   int    `json:"proc"`
+	Iter   int    `json:"iter"`
+	At     int64  `json:"at"`
+}
+
+// CoreGist mirrors core.Stats field-for-field; a named copy here keeps
+// the wire format explicit and stable even if the internal counters are
+// reorganized.
+type CoreGist struct {
+	NonPrivReads      uint64 `json:"nonpriv_reads"`
+	NonPrivWrites     uint64 `json:"nonpriv_writes"`
+	PrivReads         uint64 `json:"priv_reads"`
+	PrivWrites        uint64 `json:"priv_writes"`
+	FirstUpdates      uint64 `json:"first_updates"`
+	ROnlyUpdates      uint64 `json:"ronly_updates"`
+	FirstUpdateFails  uint64 `json:"first_update_fails"`
+	ReadFirstSignals  uint64 `json:"read_first_signals"`
+	FirstWriteSignals uint64 `json:"first_write_signals"`
+	ReadIns           uint64 `json:"read_ins"`
+	CopyOuts          uint64 `json:"copy_outs"`
+	Failures          uint64 `json:"failures"`
+}
+
+// ReportOf flattens a run.Result into its serializable form.
+func ReportOf(r *run.Result) Report {
+	rep := Report{
+		Workload:         r.Workload,
+		Mode:             r.Mode.String(),
+		Procs:            r.Procs,
+		Executions:       r.Executions,
+		Cycles:           r.Cycles,
+		Breakdown:        breakdownGist(r.Breakdown),
+		Failures:         r.Failures,
+		Exceptions:       r.Exceptions,
+		SerialFallbacks:  r.SerialFallbacks,
+		FailDetectCycles: r.FailDetectCycles,
+		MachineStats:     r.MachineStats,
+		CoreStats:        coreGist(r),
+		NetStats:         r.NetStats,
+		HomeQueue:        r.HomeQueue,
+	}
+	if len(r.Verdicts) > 0 {
+		rep.Verdicts = make(map[string]string, len(r.Verdicts))
+		for name, v := range r.Verdicts {
+			rep.Verdicts[name] = v.String()
+		}
+	}
+	if f := r.FirstFailure; f != nil {
+		rep.FirstFailure = &FailureGist{
+			Reason: string(f.Reason),
+			Array:  f.Array,
+			Elem:   f.Elem,
+			Proc:   f.Proc,
+			Iter:   f.Iter,
+			At:     f.At,
+		}
+	}
+	if r.InvariantErr != nil {
+		rep.InvariantViolation = r.InvariantErr.Error()
+	}
+	return rep
+}
+
+func breakdownGist(b cpu.Breakdown) BreakdownGist {
+	return BreakdownGist{Busy: b.Busy, Mem: b.Mem, Sync: b.Sync}
+}
+
+func coreGist(r *run.Result) CoreGist {
+	c := r.CoreStats
+	return CoreGist{
+		NonPrivReads:      c.NonPrivReads,
+		NonPrivWrites:     c.NonPrivWrites,
+		PrivReads:         c.PrivReads,
+		PrivWrites:        c.PrivWrites,
+		FirstUpdates:      c.FirstUpdates,
+		ROnlyUpdates:      c.ROnlyUpdates,
+		FirstUpdateFails:  c.FirstUpdateFails,
+		ReadFirstSignals:  c.ReadFirstSignals,
+		FirstWriteSignals: c.FirstWriteSignals,
+		ReadIns:           c.ReadIns,
+		CopyOuts:          c.CopyOuts,
+		Failures:          c.Failures,
+	}
+}
+
+// Encode renders the report as canonical JSON: a single trailing newline,
+// no indentation, deterministic bytes for identical simulations.
+func (r Report) Encode() ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeReport parses bytes produced by Encode.
+func DecodeReport(b []byte) (Report, error) {
+	var r Report
+	err := json.Unmarshal(b, &r)
+	return r, err
+}

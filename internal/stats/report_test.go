@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"specrt/internal/core"
+	"specrt/internal/loops"
+	"specrt/internal/run"
+)
+
+// TestReportEncodeDeterministic: two independent simulations of the same
+// config encode to byte-identical JSON — the property the specrtd cache
+// and the client-vs-server comparison rely on.
+func TestReportEncodeDeterministic(t *testing.T) {
+	cfg := run.Config{Procs: 4, Mode: run.SW, Contention: true, MaxExecutions: 2}
+	w1, w2 := loops.Track(), loops.Track()
+	b1, err := ReportOf(run.MustExecute(w1, cfg)).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ReportOf(run.MustExecute(w2, cfg)).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("identical configs encoded differently:\n%s\nvs\n%s", b1, b2)
+	}
+	if b1[len(b1)-1] != '\n' {
+		t.Fatalf("Encode output does not end in a newline")
+	}
+}
+
+// TestReportRoundTrip: Encode/DecodeReport round-trips the populated
+// fields, including SW verdicts.
+func TestReportRoundTrip(t *testing.T) {
+	cfg := run.Config{Procs: 4, Mode: run.SW, MaxExecutions: 2}
+	rep := ReportOf(run.MustExecute(loops.Track(), cfg))
+	if rep.Workload != "Track" || rep.Mode != "SW" || rep.Procs != 4 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if rep.Cycles <= 0 || rep.Executions != 2 {
+		t.Fatalf("report totals wrong: cycles=%d execs=%d", rep.Cycles, rep.Executions)
+	}
+	if len(rep.Verdicts) == 0 {
+		t.Fatalf("SW run reported no verdicts")
+	}
+	b, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, got) {
+		t.Fatalf("round trip changed the report:\n%+v\nvs\n%+v", rep, got)
+	}
+}
+
+// TestCoreGistMirrorsCoreStats guards the field-for-field copy: a new
+// core.Stats counter must be added to CoreGist (and coreGist) too.
+func TestCoreGistMirrorsCoreStats(t *testing.T) {
+	nc := reflect.TypeOf(core.Stats{}).NumField()
+	ng := reflect.TypeOf(CoreGist{}).NumField()
+	if nc != ng {
+		t.Fatalf("core.Stats has %d fields, CoreGist mirrors %d: extend the gist", nc, ng)
+	}
+}
