@@ -401,6 +401,15 @@ func BenchmarkAblationAdaptive(b *testing.B) {
 	}
 }
 
+func BenchmarkAblationAdaptiveDirectors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.New(harness.Quick).AblationDirectors(0)
+		if len(rows) != 24 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
 func BenchmarkAblationWriteStall(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows := harness.New(harness.Quick).AblationWriteStall()

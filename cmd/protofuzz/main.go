@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	protofuzz [-seeds N] [-scale quick|default|deep] [-procs P] [-seed S] [-inject BUG] [-topology T] [-o FILE] [-v]
+//	protofuzz [-seeds N] [-scale quick|default|deep] [-procs P] [-seed S] [-inject BUG] [-topology T] [-director D] [-o FILE] [-v]
 //	protofuzz -replay FILE
 //
 // The first form explores until N distinct delivery orders have been
@@ -41,6 +41,7 @@ import (
 	"specrt/internal/check"
 	"specrt/internal/core"
 	"specrt/internal/interconnect"
+	"specrt/internal/policy"
 )
 
 var injectNames = map[string]core.InjectedBug{
@@ -55,6 +56,7 @@ func main() {
 	baseSeed := flag.Uint64("seed", 1, "base seed for stream generation and ordering")
 	injectName := flag.String("inject", "none", "plant a known protocol bug: none or first-vs-write-flip")
 	topoName := flag.String("topology", "ideal", "interconnect topology: ideal, bus, crossbar or mesh")
+	directorName := flag.String("director", "", "explore under adaptive dispatch with this policy director (static, threshold or cost); incompatible with -inject")
 	replayFile := flag.String("replay", "", "re-run a saved reproducer file instead of exploring")
 	outFile := flag.String("o", "", "write the minimized reproducer to this file (default: stdout)")
 	verbose := flag.Bool("v", false, "print progress as exploration runs")
@@ -110,7 +112,21 @@ func main() {
 			}
 		}
 	}
-	sum, err := check.ExploreOn(*baseSeed, *seeds, sc, inject, topo, progress)
+	var sum *check.Summary
+	if *directorName != "" {
+		if inject != core.InjectNone {
+			fmt.Fprintln(os.Stderr, "protofuzz: -director and -inject are mutually exclusive")
+			os.Exit(2)
+		}
+		kind, derr := policy.DirectorByName(*directorName)
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, "protofuzz:", derr)
+			os.Exit(2)
+		}
+		sum, err = check.ExploreAdaptive(*baseSeed, *seeds, sc, kind, topo, progress)
+	} else {
+		sum, err = check.ExploreOn(*baseSeed, *seeds, sc, inject, topo, progress)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "protofuzz:", err)
 		os.Exit(2)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	specrt [-scale quick|default|paper] [-parallel N] [-topology T] [-placement P] [-dirmode D] [-procs N] [latencies|fig11|fig12|fig13|fig14|network|wide|ablations|all]
+//	specrt [-scale quick|default|paper] [-parallel N] [-topology T] [-placement P] [-dirmode D] [-procs N] [latencies|fig11|fig12|fig13|fig14|network|wide|adaptive|ablations|all]
 //
 // Experiment cells are independent deterministic simulations; -parallel
 // (default: all host cores) bounds how many run at once. Output is
@@ -18,7 +18,10 @@
 // experiment cell. The network command prints the mesh-contention
 // ablation on its own, and wide prints the wide-scale scaling ablation
 // (procs x directory mode x topology, up to -procs processors —
-// default 1024).
+// default 1024). adaptive prints the adaptive speculation-policy
+// ablation: every workload under the four pinned static strategies and
+// under the learned threshold/cost directors, with the learned
+// directors' per-instance decision traces on the phase-changing loop.
 package main
 
 import (
@@ -57,7 +60,7 @@ func main() {
 	schedFlag := flag.String("sched", "", "job command: schedule override (static|dynamic:N|block-cyclic:N)")
 	maxExecFlag := flag.Int("maxexec", 0, "job command: cap simulated loop executions (0 = scale default)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-scale quick|default|paper] [-parallel N] [-topology T] [-placement P] [-dirmode D] [-procs N] [latencies|fig11|fig12|fig13|fig14|stats|network|wide|ablations|all]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-scale quick|default|paper] [-parallel N] [-topology T] [-placement P] [-dirmode D] [-procs N] [latencies|fig11|fig12|fig13|fig14|stats|network|wide|adaptive|ablations|all]\n", os.Args[0])
 		fmt.Fprintf(os.Stderr, "       %s [-server URL] [-workload W] [-mode M] [-procs N] [-topology T] [-placement P] [-dirmode D] [-sched S] [-maxexec N] job\n", os.Args[0])
 		flag.PrintDefaults()
 	}
@@ -203,6 +206,12 @@ func main() {
 			return
 		}
 		h.PrintAblationWide(out, ladder)
+	case "adaptive":
+		if csvMode {
+			checkCSV(harness.DirectorsResult{Rows: h.AblationDirectors(0)}.WriteCSV(out))
+			return
+		}
+		h.PrintAblationDirectors(out, 0)
 	case "ablations":
 		h.Ablations(out)
 	case "all":

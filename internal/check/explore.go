@@ -6,6 +6,7 @@ import (
 
 	"specrt/internal/core"
 	"specrt/internal/interconnect"
+	"specrt/internal/policy"
 )
 
 // OrdersPerStream is how many delivery orders Explore tries per generated
@@ -22,6 +23,13 @@ type Reproducer struct {
 	// Topology is the interconnect the failing replay ran on (zero value:
 	// ideal, the default).
 	Topology interconnect.Kind `json:"topology,omitempty"`
+	// Director names the adaptive-dispatch director that chose the
+	// stream's protocol when the violation was found (empty for classic
+	// exploration). Replay does not consult it — the chosen protocol is
+	// already baked into the stream, so the case replays exactly — but
+	// round-tripping it preserves provenance, like the stream's
+	// processor count.
+	Director string `json:"director,omitempty"`
 	// Violation is informational (what the original run reported).
 	Violation string `json:"violation,omitempty"`
 }
@@ -77,13 +85,46 @@ func Explore(baseSeed uint64, seeds int, sc Scale, inject core.InjectedBug, prog
 // ExploreOn is Explore with every replay routed over the chosen
 // interconnect topology (see ReplayOn).
 func ExploreOn(baseSeed uint64, seeds int, sc Scale, inject core.InjectedBug, topo interconnect.Kind, progress func(done int, sum *Summary)) (*Summary, error) {
+	return explore(baseSeed, seeds, sc, inject, topo, nil, progress)
+}
+
+// ExploreAdaptive is ExploreOn with a policy director steering each
+// generated stream's protocol, mirroring the run layer's adaptive
+// dispatch: every replay's speculation outcome feeds a policy history
+// table, and when the director retreats from privatization the next
+// privatization-capable stream is demoted to the non-privatization
+// protocol before replay (iteration numbers zeroed, read-in/copy-out
+// off — the same re-protocol rewrite run.strategyVariant performs).
+// A violation's reproducer records the director name, so fuzz failures
+// found under adaptive dispatch replay exactly and carry their
+// provenance.
+func ExploreAdaptive(baseSeed uint64, seeds int, sc Scale, kind policy.DirectorKind, topo interconnect.Kind, progress func(done int, sum *Summary)) (*Summary, error) {
+	d, err := policy.New(kind, policy.Decision{Strategy: policy.HWPriv})
+	if err != nil {
+		return nil, err
+	}
+	return explore(baseSeed, seeds, sc, core.InjectNone, topo, d, progress)
+}
+
+func explore(baseSeed uint64, seeds int, sc Scale, inject core.InjectedBug, topo interconnect.Kind, d policy.Director, progress func(done int, sum *Summary)) (*Summary, error) {
 	sum := &Summary{}
 	orders := make(map[uint64]struct{}, seeds)
+	var table *policy.Table
+	site := 0
+	if d != nil {
+		table = policy.NewTable(1)
+		site = table.Site("fuzz")
+	}
 	var s *Stream
 	for i := 0; sum.DistinctOrders < seeds && i < 3*seeds; i++ {
 		if i%OrdersPerStream == 0 {
 			s = Generate(baseSeed+uint64(i/OrdersPerStream), sc)
 			sum.Streams++
+			if d != nil && s.Priv {
+				if dec := d.Decide(table.History(site)); dec.Strategy != policy.HWPriv {
+					s.demoteToNonPriv()
+				}
+			}
 		}
 		orderSeed := baseSeed ^ (uint64(i)*0x9e37_79b9 + 1)
 		rep, err := ReplayOn(s, orderSeed, inject, topo)
@@ -97,9 +138,21 @@ func ExploreOn(baseSeed uint64, seeds int, sc Scale, inject core.InjectedBug, to
 		if rep.HWFailed && !rep.OracleMismatch() {
 			sum.HWFailures++
 		}
+		if table != nil {
+			strat := policy.HWNonPriv
+			if s.Priv {
+				strat = policy.HWPriv
+			}
+			table.Record(site, policy.Outcome{
+				Strategy: strat, Failed: rep.HWFailed, Cycles: int64(rep.Transactions),
+			})
+		}
 		if v := rep.Violation(); v != nil {
 			sum.Bad = &Reproducer{Stream: s, OrderSeed: orderSeed, Inject: inject,
 				Topology: topo, Violation: v.Error()}
+			if d != nil {
+				sum.Bad.Director = d.Name()
+			}
 			return sum, nil
 		}
 		if progress != nil {

@@ -37,8 +37,10 @@ func FuzzProtocolOrders(f *testing.F) {
 func FuzzReproducerRoundTrip(f *testing.F) {
 	seed := &Reproducer{Stream: Generate(1, Scales[0]), OrderSeed: 99}
 	f.Add(seed.Marshal())
+	f.Add((&Reproducer{Stream: Generate(2, Scale{MaxProcs: 4, MaxSteps: 12, Phase: 2}),
+		OrderSeed: 5, Director: "cost"}).Marshal())
 	f.Add([]byte(`{"stream":{"procs":2,"elems":4,"elemSize":4,"accesses":[{"p":1,"e":3,"w":true}]},"orderSeed":7}`))
-	f.Add([]byte(`{"stream":{"procs":3,"elems":8,"elemSize":8,"priv":true,"accesses":[{"p":0,"i":1,"e":0}]}}`))
+	f.Add([]byte(`{"stream":{"procs":3,"elems":8,"elemSize":8,"priv":true,"accesses":[{"p":0,"i":1,"e":0}]},"director":"threshold"}`))
 	f.Fuzz(func(t *testing.T, b []byte) {
 		r, err := ParseReproducer(b)
 		if err != nil {
@@ -48,7 +50,8 @@ func FuzzReproducerRoundTrip(f *testing.F) {
 		if err != nil {
 			t.Fatalf("round trip failed to parse: %v", err)
 		}
-		if len(r2.Stream.Accesses) != len(r.Stream.Accesses) || r2.OrderSeed != r.OrderSeed {
+		if len(r2.Stream.Accesses) != len(r.Stream.Accesses) || r2.OrderSeed != r.OrderSeed ||
+			r2.Director != r.Director {
 			t.Fatalf("round trip changed the reproducer: %+v vs %+v", r2, r)
 		}
 		if len(r.Stream.Accesses) > 600 {

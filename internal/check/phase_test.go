@@ -1,0 +1,123 @@
+package check
+
+import (
+	"reflect"
+	"testing"
+
+	"specrt/internal/interconnect"
+	"specrt/internal/lrpd"
+	"specrt/internal/policy"
+)
+
+// phaseScale builds a small phase-shaped generation scale.
+func phaseScale(phase int) Scale {
+	return Scale{Name: "phase-test", MaxProcs: 4, MaxElems: 64, MaxSteps: 24, Phase: phase}
+}
+
+// TestPhaseShapesValidateAndAreDeterministic: every phase yields a
+// well-formed stream, and the same (seed, scale) the same stream.
+func TestPhaseShapesValidateAndAreDeterministic(t *testing.T) {
+	for phase := 1; phase <= 3; phase++ {
+		for seed := uint64(1); seed <= 5; seed++ {
+			s := Generate(seed, phaseScale(phase))
+			if err := s.Validate(); err != nil {
+				t.Fatalf("phase %d seed %d: invalid stream: %v", phase, seed, err)
+			}
+			if !s.Priv || !s.RICO {
+				t.Fatalf("phase %d seed %d: want privatization-capable stream, got %+v", phase, seed, s)
+			}
+			again := Generate(seed, phaseScale(phase))
+			if !reflect.DeepEqual(s, again) {
+				t.Fatalf("phase %d seed %d: generation not deterministic", phase, seed)
+			}
+		}
+	}
+}
+
+// phaseVerdicts runs the LRPD oracle over a phase stream under both
+// protocols: iteration-wise without privatization (what hw-nonpriv must
+// match) and with read-in privatization (what hw-priv must match).
+func phaseVerdicts(s *Stream) (nonprivFails, privFails bool) {
+	ops := make([]lrpd.Op, len(s.Accesses))
+	for i, a := range s.Accesses {
+		ops[i] = lrpd.Op{Iter: a.Iter - 1, Elem: a.Elem, Write: a.Write}
+	}
+	nonprivFails = lrpd.Test(s.Elems, ops, false).Verdict == lrpd.NotParallel
+	privFails = lrpd.TestWithReadIn(s.Elems, ops).Verdict == lrpd.NotParallel
+	return nonprivFails, privFails
+}
+
+// TestPhaseBestStrategies pins each phase's intended winner: phase 1
+// passes both protocols (non-priv wins on copy-out cost), phase 2 fails
+// non-privatization but privatizes cleanly, phase 3 fails everything.
+func TestPhaseBestStrategies(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		if np, priv := phaseVerdicts(Generate(seed, phaseScale(1))); np || priv {
+			t.Fatalf("phase 1 seed %d: want fully parallel, got nonprivFails=%v privFails=%v", seed, np, priv)
+		}
+		if np, priv := phaseVerdicts(Generate(seed, phaseScale(2))); !np || priv {
+			t.Fatalf("phase 2 seed %d: want privatizable-only, got nonprivFails=%v privFails=%v", seed, np, priv)
+		}
+		if np, priv := phaseVerdicts(Generate(seed, phaseScale(3))); !np || !priv {
+			t.Fatalf("phase 3 seed %d: want racy under both, got nonprivFails=%v privFails=%v", seed, np, priv)
+		}
+		if s := Generate(seed, phaseScale(3)); !s.ExpectedFail() {
+			t.Fatalf("phase 3 seed %d: oracle says parallel", seed)
+		}
+	}
+}
+
+// TestDemoteToNonPriv: the adaptive-dispatch rewrite produces a valid
+// non-privatization stream over the same accesses.
+func TestDemoteToNonPriv(t *testing.T) {
+	s := Generate(1, phaseScale(2))
+	n := len(s.Accesses)
+	s.demoteToNonPriv()
+	if s.Priv || s.RICO || s.CopyOut {
+		t.Fatalf("demotion left privatization flags: %+v", s)
+	}
+	if len(s.Accesses) != n {
+		t.Fatalf("demotion changed access count %d -> %d", n, len(s.Accesses))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("demoted stream invalid: %v", err)
+	}
+}
+
+// TestExploreAdaptiveRunsCleanAndRecordsDirector: adaptive-dispatch
+// exploration finds no violations on the healthy protocol, and its
+// reproducers would carry the director name (checked via the round-trip
+// of a hand-built reproducer, since no real violation exists).
+func TestExploreAdaptiveRunsClean(t *testing.T) {
+	sum, err := ExploreAdaptive(7, 24, Scales[0], policy.Threshold, interconnect.Ideal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Bad != nil {
+		t.Fatalf("adaptive exploration found a violation on the healthy protocol: %s", sum.Bad.Marshal())
+	}
+	if sum.Replays == 0 || sum.Streams == 0 {
+		t.Fatalf("adaptive exploration did nothing: %+v", sum)
+	}
+}
+
+// TestReproducerDirectorRoundTrip: the director field survives
+// marshal/parse, so fuzz failures found under adaptive dispatch keep
+// their provenance.
+func TestReproducerDirectorRoundTrip(t *testing.T) {
+	r := &Reproducer{Stream: Generate(3, Scales[0]), OrderSeed: 11, Director: "threshold"}
+	got, err := ParseReproducer(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Director != "threshold" {
+		t.Fatalf("director did not round-trip: %q", got.Director)
+	}
+	bare, err := ParseReproducer((&Reproducer{Stream: Generate(3, Scales[0]), OrderSeed: 11}).Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Director != "" {
+		t.Fatalf("empty director did not stay empty: %q", bare.Director)
+	}
+}

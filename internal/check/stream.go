@@ -102,6 +102,15 @@ type Scale struct {
 	// this processor count (wide-machine fuzzing wants all streams past
 	// the spill point, not a rare draw at the top of the range).
 	Procs int
+	// Phase, when positive, replaces the random conflict archetype with
+	// a deterministic phase shape: 1 is fully parallel (a read-only pool
+	// plus per-iteration disjoint writes), 2 is privatizable (a small
+	// shared scratch pool every iteration writes before reading), 3 is
+	// racy (a value chained through every iteration). The adaptive-policy
+	// ablation strings instances of different phases into one
+	// phase-changing loop; each phase has a different best strategy
+	// (hw-nonpriv, hw-priv, serial respectively).
+	Phase int
 }
 
 // Scales are the supported exploration sizes, smallest first.
@@ -128,6 +137,9 @@ func ScaleByName(name string) (Scale, error) {
 // on/off. The same seed always yields the same stream.
 func Generate(seed uint64, sc Scale) *Stream {
 	rng := rand.New(rand.NewSource(int64(seed)))
+	if sc.Phase > 0 {
+		return generatePhase(rng, sc)
+	}
 	s := &Stream{
 		Procs:    2 + rng.Intn(sc.MaxProcs-1),
 		Elems:    1 + rng.Intn(sc.MaxElems),
@@ -249,6 +261,84 @@ func Generate(seed uint64, sc Scale) *Stream {
 		}
 	}
 	return s
+}
+
+// phaseROPool is the read-only element pool shared by the phase shapes;
+// phaseSlots is phase 2's scratch pool, sized so several iterations
+// collide on every slot; phaseWriteFan is how many disjoint elements a
+// phase-1 iteration writes — wide enough that privatizing phase 1 pays
+// a visible read-in/copy-out bill for work non-privatization gets free.
+const (
+	phaseROPool   = 8
+	phaseSlots    = 16
+	phaseWriteFan = 4
+)
+
+// generatePhase emits one of the deterministic phase shapes (see
+// Scale.Phase). Only the iteration count is drawn from the seed; the
+// access pattern is a pure function of the phase, so a phase's best
+// strategy is stable across seeds:
+//
+//	Phase 1: iteration it reads the pool and writes (then rereads) its
+//	         own phaseWriteFan-element block — parallel under any
+//	         schedule, nothing to privatize, so hardware
+//	         non-privatization wins (privatization passes too but pays
+//	         copy-out for every written element).
+//	Phase 2: iteration it writes scratch slot (it-1) mod phaseSlots
+//	         before reading it — iterations collide on slots (the
+//	         non-privatization test fails) but every read is preceded
+//	         by the iteration's own write, so privatization passes.
+//	Phase 3: iteration it reads element it-1 (written by iteration
+//	         it-1) and writes element it — a flow-dependence chain no
+//	         speculative scheme survives; serial is the only winner.
+func generatePhase(rng *rand.Rand, sc Scale) *Stream {
+	procs := sc.Procs
+	if procs == 0 {
+		procs = minInt(4, maxInt(2, sc.MaxProcs))
+	}
+	iters := 8 + rng.Intn(maxInt(1, sc.MaxSteps))
+	s := &Stream{Procs: procs, ElemSize: 4, Priv: true, RICO: true}
+	for it := 1; it <= iters; it++ {
+		p := (it - 1) % procs
+		switch sc.Phase {
+		case 1:
+			own := phaseROPool + (it-1)*phaseWriteFan
+			s.Elems = phaseROPool + iters*phaseWriteFan
+			s.Accesses = append(s.Accesses,
+				Access{Proc: p, Iter: it, Elem: (it * 3) % phaseROPool})
+			for k := 0; k < phaseWriteFan; k++ {
+				s.Accesses = append(s.Accesses,
+					Access{Proc: p, Iter: it, Elem: own + k, Write: true})
+			}
+			s.Accesses = append(s.Accesses,
+				Access{Proc: p, Iter: it, Elem: own})
+		case 2:
+			slot := phaseROPool + (it-1)%phaseSlots
+			s.Elems = phaseROPool + phaseSlots
+			s.Accesses = append(s.Accesses,
+				Access{Proc: p, Iter: it, Elem: slot, Write: true},
+				Access{Proc: p, Iter: it, Elem: slot},
+				Access{Proc: p, Iter: it, Elem: (it * 5) % phaseROPool})
+		default:
+			s.Elems = iters + 1
+			s.Accesses = append(s.Accesses,
+				Access{Proc: p, Iter: it, Elem: it - 1},
+				Access{Proc: p, Iter: it, Elem: it, Write: true})
+		}
+	}
+	return s
+}
+
+// demoteToNonPriv rewrites a privatization stream to run under the
+// non-privatization protocol: iteration numbers zero out (the protocol
+// is iteration-blind) and read-in/copy-out switch off. This is the
+// stream-level mirror of run.strategyVariant's hw-nonpriv rewrite, used
+// by adaptive-dispatch exploration.
+func (s *Stream) demoteToNonPriv() {
+	s.Priv, s.RICO, s.CopyOut = false, false, false
+	for i := range s.Accesses {
+		s.Accesses[i].Iter = 0
+	}
 }
 
 // FromBytes derives a well-formed stream from an arbitrary byte string,

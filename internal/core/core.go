@@ -103,6 +103,23 @@ type Stats struct {
 	Failures          uint64
 }
 
+// Add folds another controller's counters into s (adaptive executions
+// aggregate their per-strategy controllers through here).
+func (s *Stats) Add(o Stats) {
+	s.NonPrivReads += o.NonPrivReads
+	s.NonPrivWrites += o.NonPrivWrites
+	s.PrivReads += o.PrivReads
+	s.PrivWrites += o.PrivWrites
+	s.FirstUpdates += o.FirstUpdates
+	s.ROnlyUpdates += o.ROnlyUpdates
+	s.FirstUpdateFails += o.FirstUpdateFails
+	s.ReadFirstSignals += o.ReadFirstSignals
+	s.FirstWriteSignals += o.FirstWriteSignals
+	s.ReadIns += o.ReadIns
+	s.CopyOuts += o.CopyOuts
+	s.Failures += o.Failures
+}
+
 // Array is one array under test with its protocol state. The directory-
 // side fields live in the dedicated access-bit memory next to each
 // directory (§4.1); indexing is per element.

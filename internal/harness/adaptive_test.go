@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// directorRows runs the ablation once at the headline instance count (24
+// — thirds long enough for the learned directors to amortize
+// exploration) and shares the rows across the tests below.
+var directorRows = func() []DirectorRow {
+	return New(Quick).AblationDirectors(24)
+}()
+
+// byWorkload indexes the shared rows: byWorkload["Ocean"]["cost"].
+func byWorkload(rows []DirectorRow) map[string]map[string]DirectorRow {
+	m := make(map[string]map[string]DirectorRow)
+	for _, r := range rows {
+		if m[r.Workload] == nil {
+			m[r.Workload] = make(map[string]DirectorRow)
+		}
+		m[r.Workload][r.Scheme] = r
+	}
+	return m
+}
+
+// TestAblationDirectorsGrid: shape, and the static-best marks land on
+// the schemes the workloads were built to favour.
+func TestAblationDirectorsGrid(t *testing.T) {
+	if len(directorRows) != len(AdaptiveWorkloads)*len(adaptiveSchemes) {
+		t.Fatalf("got %d rows, want %d", len(directorRows), len(AdaptiveWorkloads)*len(adaptiveSchemes))
+	}
+	wantBest := map[string]string{
+		"Ocean":        "static:hw-nonpriv",
+		"racy-chain":   "static:serial",
+		"priv-scratch": "static:hw-priv",
+	}
+	m := byWorkload(directorRows)
+	for wl, want := range wantBest {
+		for scheme, r := range m[wl] {
+			if r.StaticBest != (scheme == want) {
+				t.Errorf("%s: static-best mark on %q, want %q", wl, scheme, want)
+			}
+		}
+	}
+	for _, r := range directorRows {
+		if r.Cycles <= 0 {
+			t.Errorf("%s/%s: cycles = %d", r.Workload, r.Scheme, r.Cycles)
+		}
+		if !r.Learned && (r.Switches != 0 || r.Decisions != nil) {
+			t.Errorf("%s/%s: pinned static reported %d switches", r.Workload, r.Scheme, r.Switches)
+		}
+	}
+}
+
+// TestDirectorsConvergeOnStationaryLoops: on each stationary workload
+// the better learned director lands within exploration distance of the
+// best static scheme, and on Ocean the threshold director reproduces
+// the static-best execution exactly (confidence starts high, so it
+// speculates non-privatized from instance one).
+func TestDirectorsConvergeOnStationaryLoops(t *testing.T) {
+	m := byWorkload(directorRows)
+	for _, wl := range []string{"Ocean", "racy-chain", "priv-scratch"} {
+		var best int64
+		for _, r := range m[wl] {
+			if r.StaticBest {
+				best = r.Cycles
+			}
+		}
+		learned := m[wl]["threshold"].Cycles
+		if c := m[wl]["cost"].Cycles; c < learned {
+			learned = c
+		}
+		if learned < best {
+			// Better than the best pinned static is fine (chunk
+			// coarsening on probes can shave cycles); no assert needed.
+			continue
+		}
+		if float64(learned) > 1.45*float64(best) {
+			t.Errorf("%s: best learned director %d cycles vs static-best %d (> 1.45x)", wl, learned, best)
+		}
+	}
+	if o, s := m["Ocean"]["threshold"], m["Ocean"]["static:hw-nonpriv"]; o.Cycles != s.Cycles {
+		t.Errorf("Ocean: threshold = %d cycles, want exact static-best %d", o.Cycles, s.Cycles)
+	}
+}
+
+// TestDirectorsBeatStaticsOnPhaseMix: the headline — on the
+// phase-changing loop the best learned director is strictly faster than
+// every pinned static scheme, and its decision trace shows at least one
+// switch per phase boundary.
+func TestDirectorsBeatStaticsOnPhaseMix(t *testing.T) {
+	m := byWorkload(directorRows)["phase-mix"]
+	learned := m["threshold"].Cycles
+	if c := m["cost"].Cycles; c < learned {
+		learned = c
+	}
+	for scheme, r := range m {
+		if r.Learned {
+			continue
+		}
+		if learned >= r.Cycles {
+			t.Errorf("phase-mix: best learned director (%d cycles) not faster than %s (%d)",
+				learned, scheme, r.Cycles)
+		}
+	}
+	for _, scheme := range []string{"threshold", "cost"} {
+		r := m[scheme]
+		if r.Switches < 2 {
+			t.Errorf("phase-mix/%s: only %d switches across 3 phases:\n%s",
+				scheme, r.Switches, DecisionTrace(r.Decisions))
+		}
+		if len(r.Decisions) != 24 {
+			t.Errorf("phase-mix/%s: %d decisions, want 24", scheme, len(r.Decisions))
+		}
+		// The trace must explain each switch: every switched decision
+		// follows either a failure or a scheduled probe/exploration, so
+		// the preceding decision differs in strategy.
+		for i, d := range r.Decisions {
+			if d.Switched && (i == 0 || r.Decisions[i-1].Strategy == d.Strategy) {
+				t.Errorf("phase-mix/%s: decision %d marked switched without a strategy change", scheme, i)
+			}
+		}
+	}
+}
+
+// TestDirectorsThresholdSwitchesAtQuickScale: the CI smoke assertion —
+// even at the quick instance count the threshold director reacts to the
+// phase change at least once.
+func TestDirectorsThresholdSwitchesAtQuickScale(t *testing.T) {
+	r := New(Quick).DirectorCell("phase-mix", "threshold", AdaptiveInstances(Quick))
+	if r.Switches < 1 {
+		t.Fatalf("threshold never switched on the quick phase-mix loop:\n%s", DecisionTrace(r.Decisions))
+	}
+	if r.Mispred >= AdaptiveInstances(Quick)/2 {
+		t.Fatalf("threshold mispredicted %d of %d quick instances", r.Mispred, AdaptiveInstances(Quick))
+	}
+}
+
+// TestAblationDirectorsDeterministicOutput: the printed table is
+// byte-identical across runs and parallelism levels (the ablation
+// bypasses the memoizer, so this guards its own determinism).
+func TestAblationDirectorsDeterministicOutput(t *testing.T) {
+	var seq, par bytes.Buffer
+	NewParallel(Quick, 1).PrintAblationDirectors(&seq, 0)
+	NewParallel(Quick, 4).PrintAblationDirectors(&par, 0)
+	if seq.String() != par.String() {
+		t.Fatalf("ablation output depends on parallelism:\n--- seq ---\n%s\n--- par ---\n%s",
+			seq.String(), par.String())
+	}
+	if !strings.Contains(seq.String(), "decision traces (phase-mix):") {
+		t.Fatalf("output missing decision traces:\n%s", seq.String())
+	}
+}
+
+// TestDecisionTraceCompression: segments collapse runs and mark
+// failures and chunk overrides.
+func TestDecisionTrace(t *testing.T) {
+	r := New(Quick).DirectorCell("racy-chain", "threshold", 12)
+	tr := DecisionTrace(r.Decisions)
+	if !strings.Contains(tr, "serial") || !strings.Contains(tr, "!") {
+		t.Fatalf("trace %q missing serial retreat or failure marks", tr)
+	}
+	if DecisionTrace(nil) != "" {
+		t.Fatalf("empty trace not empty: %q", DecisionTrace(nil))
+	}
+}
+
+// TestDirectorsCSV: the CSV emitter mirrors the table rows.
+func TestDirectorsCSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := (DirectorsResult{Rows: directorRows}).WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1+len(directorRows) {
+		t.Fatalf("got %d CSV lines, want %d", len(lines), 1+len(directorRows))
+	}
+	if lines[0] != "workload,scheme,learned,static_best,cycles,mean_inst,failures,switches,mispredicts" {
+		t.Fatalf("bad header %q", lines[0])
+	}
+}

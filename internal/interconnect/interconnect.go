@@ -214,6 +214,19 @@ type Stats struct {
 	MaxLinkQueue int
 }
 
+// Add folds another run's stats into s: counters sum, the queue-depth
+// high-water mark takes the max. Adaptive executions aggregate their
+// per-strategy machines through here.
+func (s *Stats) Add(o Stats) {
+	s.Messages += o.Messages
+	s.LinkBusy += o.LinkBusy
+	s.LinkWait += o.LinkWait
+	s.LinkStalls += o.LinkStalls
+	if o.MaxLinkQueue > s.MaxLinkQueue {
+		s.MaxLinkQueue = o.MaxLinkQueue
+	}
+}
+
 // Network is the machine's view of the interconnect. Send both *reserves*
 // the path of one message and returns its one-way latency; it must be
 // called once per message, in simulation order, which the single-threaded

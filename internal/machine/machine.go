@@ -189,6 +189,21 @@ type Stats struct {
 	Messages      uint64 // deferred protocol messages (bit updates)
 }
 
+// Add folds another machine's counters into s (adaptive executions
+// aggregate one machine per strategy).
+func (s *Stats) Add(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.L1Hits += o.L1Hits
+	s.L2Hits += o.L2Hits
+	s.Fetch2Hop += o.Fetch2Hop
+	s.Fetch3Hop += o.Fetch3Hop
+	s.Upgrades += o.Upgrades
+	s.Invalidations += o.Invalidations
+	s.Writebacks += o.Writebacks
+	s.Messages += o.Messages
+}
+
 // Machine is the simulated multiprocessor.
 type Machine struct {
 	Cfg   Config
@@ -353,6 +368,21 @@ type HomeStats struct {
 	// the home node where it occurred (-1 when no home was ever visited).
 	MaxQueueDepth int
 	MaxQueueHome  int
+}
+
+// Add folds another machine's home-queue stats into s: counters sum,
+// the depth high-water mark takes the max (carrying its home node).
+// Adaptive executions aggregate their per-strategy machines through
+// here.
+func (s *HomeStats) Add(o HomeStats) {
+	s.Requests += o.Requests
+	s.Stalls += o.Stalls
+	s.BusyCycles += o.BusyCycles
+	s.WaitCycles += o.WaitCycles
+	if o.MaxQueueDepth > s.MaxQueueDepth {
+		s.MaxQueueDepth = o.MaxQueueDepth
+		s.MaxQueueHome = o.MaxQueueHome
+	}
 }
 
 // HomeStats aggregates the per-home servers. Only meaningful with

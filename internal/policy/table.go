@@ -1,0 +1,241 @@
+package policy
+
+import "specrt/internal/arena"
+
+// Confidence counter bounds (MDPT-style 2-bit saturating counter): a
+// success increments by one, a failure knocks the counter down by two,
+// so one failure after long success drops to "shaky" and two in a row
+// reach "don't speculate". New sites start at ConfInit — weakly
+// confident, so the first instance speculates.
+const (
+	ConfMax  = 3
+	ConfInit = 2
+)
+
+// ewmaSnapFactor bounds how far an observation may sit from the stored
+// mean before the mean snaps to it outright (phase-change detector):
+// beyond 2x in either direction the history is stale, not noisy.
+const ewmaSnapFactor = 2
+
+// Table is the per-loop-site history store. Sites are keyed by loop id
+// (the workload name); per-(site, strategy) counters and per-site
+// predictor state live on epoch-tagged arena tables, so wiping the
+// whole history (between ablation cells, fuzz replays, server restarts
+// of a learning context) is an O(1) Reset, never an O(sites) clear.
+type Table struct {
+	ids   map[string]int
+	names []string
+	cap   int
+
+	// Per (site, strategy), indexed site*NumStrategies + strategy.
+	runs    *arena.I32 // instances run under the strategy
+	fails   *arena.I32 // instances whose speculation failed
+	lastRun *arena.I32 // site-instance index of the last run (-1 = never)
+	cycles  *arena.I64 // smoothed observed cycles (0 = never run)
+	copyout *arena.I64 // smoothed copy-out volume in words
+
+	// Per site.
+	instances *arena.I32 // instances recorded
+	conf      *arena.I32 // saturating confidence counter [0, ConfMax]
+	lastStrat *arena.I32 // last strategy recorded + 1 (0 = none)
+	touched   *arena.I32 // last observed touched fraction, permille
+
+	// baseChunk is per-site configuration (the workload's own chunk
+	// size), not history: a plain slice that survives Reset.
+	baseChunk []int32
+}
+
+// NewTable returns an empty history table with initial capacity for
+// sites loop sites (it grows as needed; 0 picks a small default).
+func NewTable(sites int) *Table {
+	if sites <= 0 {
+		sites = 4
+	}
+	t := &Table{ids: make(map[string]int, sites)}
+	t.alloc(sites)
+	return t
+}
+
+func (t *Table) alloc(n int) {
+	t.cap = n
+	t.runs = arena.NewI32(n*NumStrategies, 0)
+	t.fails = arena.NewI32(n*NumStrategies, 0)
+	t.lastRun = arena.NewI32(n*NumStrategies, -1)
+	t.cycles = arena.NewI64(n*NumStrategies, 0)
+	t.copyout = arena.NewI64(n*NumStrategies, 0)
+	t.instances = arena.NewI32(n, 0)
+	t.conf = arena.NewI32(n, ConfInit)
+	t.lastStrat = arena.NewI32(n, 0)
+	t.touched = arena.NewI32(n, 0)
+}
+
+// Site interns a loop id, returning its dense site index. Existing
+// sites return their index with history intact.
+func (t *Table) Site(id string) int {
+	if s, ok := t.ids[id]; ok {
+		return s
+	}
+	if len(t.names) == t.cap {
+		t.grow()
+	}
+	s := len(t.names)
+	t.names = append(t.names, id)
+	t.baseChunk = append(t.baseChunk, 0)
+	t.ids[id] = s
+	return s
+}
+
+// grow doubles the arena capacity, carrying live values over. Growth is
+// rare (a new site past the capacity) and O(cap); the hot paths —
+// Record, History reads, Reset — never reallocate.
+func (t *Table) grow() {
+	old := *t
+	t.alloc(2 * t.cap)
+	for i := 0; i < old.cap*NumStrategies; i++ {
+		t.runs.Set(i, old.runs.Get(i))
+		t.fails.Set(i, old.fails.Get(i))
+		t.lastRun.Set(i, old.lastRun.Get(i))
+		t.cycles.Set(i, old.cycles.Get(i))
+		t.copyout.Set(i, old.copyout.Get(i))
+	}
+	for s := 0; s < old.cap; s++ {
+		t.instances.Set(s, old.instances.Get(s))
+		t.conf.Set(s, old.conf.Get(s))
+		t.lastStrat.Set(s, old.lastStrat.Get(s))
+		t.touched.Set(s, old.touched.Get(s))
+	}
+	t.baseChunk = old.baseChunk
+}
+
+// Sites returns the number of interned loop sites.
+func (t *Table) Sites() int { return len(t.names) }
+
+// Name returns site's loop id.
+func (t *Table) Name(site int) string { return t.names[site] }
+
+// SetBaseChunk records the workload's own dynamic chunk size for the
+// site, so directors can scale it rather than invent absolute sizes.
+func (t *Table) SetBaseChunk(site, chunk int) { t.baseChunk[site] = int32(chunk) }
+
+// Record folds one completed instance's outcome into the site's
+// history: strategy counters, the smoothed cost estimates, and the
+// shared confidence counter (success +1, failure -2, saturating).
+func (t *Table) Record(site int, o Outcome) {
+	idx := site*NumStrategies + int(o.Strategy)
+	t.runs.Set(idx, t.runs.Get(idx)+1)
+	if o.Failed {
+		t.fails.Set(idx, t.fails.Get(idx)+1)
+	}
+	t.cycles.Set(idx, smooth(t.cycles.Get(idx), o.Cycles, t.runs.Get(idx) == 1))
+	t.copyout.Set(idx, smooth(t.copyout.Get(idx), o.CopyOutWords, t.runs.Get(idx) == 1))
+	t.lastRun.Set(idx, t.instances.Get(site))
+
+	t.instances.Set(site, t.instances.Get(site)+1)
+	t.lastStrat.Set(site, int32(o.Strategy)+1)
+	t.touched.Set(site, int32(o.TouchedPermille))
+	if o.Strategy == Serial {
+		// A serial instance says nothing about speculation: leaving the
+		// counter alone here is what makes the ladder's Level 0 stable
+		// (otherwise serial successes would re-arm speculation every
+		// other instance and a never-parallel loop would oscillate).
+		return
+	}
+	c := t.conf.Get(site)
+	if o.Failed {
+		c -= 2
+		if c < 0 {
+			c = 0
+		}
+	} else if c < ConfMax {
+		c++
+	}
+	t.conf.Set(site, c)
+}
+
+// smooth updates a cost estimate: the first observation seeds it, an
+// observation more than ewmaSnapFactor away replaces it (the loop
+// changed phase; averaging toward it would lag for many instances), and
+// anything else averages in with weight 1/2.
+func smooth(old, obs int64, first bool) int64 {
+	if first || old <= 0 {
+		return obs
+	}
+	if obs > ewmaSnapFactor*old || obs < old/ewmaSnapFactor {
+		return obs
+	}
+	return (old + obs) / 2
+}
+
+// Reset wipes all recorded history in O(1) (epoch bumps on every arena
+// table). Interned site ids and their base chunks survive — the loops
+// still exist, their past just no longer counts.
+func (t *Table) Reset() {
+	t.runs.Reset()
+	t.fails.Reset()
+	t.lastRun.Reset()
+	t.cycles.Reset()
+	t.copyout.Reset()
+	t.instances.Reset()
+	t.conf.Reset()
+	t.lastStrat.Reset()
+	t.touched.Reset()
+}
+
+// History returns the read-only view of one site that directors decide
+// from.
+func (t *Table) History(site int) SiteHistory { return SiteHistory{t: t, site: site} }
+
+// SiteHistory is a director's read-only window onto one loop site.
+type SiteHistory struct {
+	t    *Table
+	site int
+}
+
+// Instances returns how many instances of this loop have been recorded.
+func (h SiteHistory) Instances() int { return int(h.t.instances.Get(h.site)) }
+
+// Runs returns how many recorded instances ran under s.
+func (h SiteHistory) Runs(s Strategy) int {
+	return int(h.t.runs.Get(h.site*NumStrategies + int(s)))
+}
+
+// Fails returns how many of those failed speculation.
+func (h SiteHistory) Fails(s Strategy) int {
+	return int(h.t.fails.Get(h.site*NumStrategies + int(s)))
+}
+
+// PredCycles returns the smoothed cycles-per-instance estimate for s
+// (0 when s never ran).
+func (h SiteHistory) PredCycles(s Strategy) int64 {
+	return h.t.cycles.Get(h.site*NumStrategies + int(s))
+}
+
+// CopyOutWords returns the smoothed copy-out volume estimate for s.
+func (h SiteHistory) CopyOutWords(s Strategy) int64 {
+	return h.t.copyout.Get(h.site*NumStrategies + int(s))
+}
+
+// LastRun returns the site-instance index at which s last ran
+// (-1 = never).
+func (h SiteHistory) LastRun(s Strategy) int {
+	return int(h.t.lastRun.Get(h.site*NumStrategies + int(s)))
+}
+
+// Conf returns the saturating confidence counter in [0, ConfMax].
+func (h SiteHistory) Conf() int { return int(h.t.conf.Get(h.site)) }
+
+// Last returns the strategy of the most recent recorded instance.
+func (h SiteHistory) Last() (Strategy, bool) {
+	v := h.t.lastStrat.Get(h.site)
+	if v == 0 {
+		return Serial, false
+	}
+	return Strategy(v - 1), true
+}
+
+// TouchedPermille returns the last observed touched-element fraction.
+func (h SiteHistory) TouchedPermille() int { return int(h.t.touched.Get(h.site)) }
+
+// BaseChunk returns the workload's own chunk size (0 = static or
+// unknown).
+func (h SiteHistory) BaseChunk() int { return int(h.t.baseChunk[h.site]) }

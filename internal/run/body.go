@@ -16,6 +16,14 @@ func (s *session) emitAccess(c *Ctx, arr, elem int, write bool) {
 	shared := s.shared[arr]
 	buf := c.buf
 
+	if s.polTouched != nil {
+		// Adaptive policy observation: every access to an array under
+		// test marks its element, feeding the touched-fraction signal.
+		if b := s.polTouched[arr]; b != nil {
+			b.Set(elem)
+		}
+	}
+
 	if write && spec.SparseBackup && spec.Test == core.NonPriv &&
 		(s.cfg.Mode == SW || s.cfg.Mode == HW) && !s.sparseSaved[arr].Get(elem) {
 		// Save the element just before it is first modified (§2.2.1).
@@ -219,6 +227,9 @@ func (s *session) loopWindow(exec, lo, hi int) {
 	cfg := schedFor(s.w, s.cfg)
 	if s.cfg.Mode == Serial {
 		cfg = sched.Config{Kind: sched.Static}
+	}
+	if s.chunkOverride > 0 && (cfg.Kind == sched.Dynamic || cfg.Kind == sched.BlockCyclic) {
+		cfg.Chunk = s.chunkOverride
 	}
 
 	if s.loopGens == nil {

@@ -37,7 +37,7 @@ const (
 // companion test asserts it equals reflect.TypeOf(Config{}).NumField(),
 // so adding a Config field without extending Canonical fails the build's
 // tests instead of silently aliasing distinct configs to one cache key.
-const canonFieldCount = 18
+const canonFieldCount = 20
 
 // ModeByName resolves a mode flag or request-body value.
 func ModeByName(name string) (Mode, error) {
@@ -88,6 +88,7 @@ func (c Config) Canonical() string {
 	fmt.Fprintf(&b, "adaptive_after=%d\n", c.AdaptiveAfter)
 	fmt.Fprintf(&b, "check_invariants=%t\n", c.CheckInvariants)
 	fmt.Fprintf(&b, "contention=%t\n", c.Contention)
+	fmt.Fprintf(&b, "director=%v\n", c.Director)
 	fmt.Fprintf(&b, "dirmode=%v\n", c.DirMode)
 	fmt.Fprintf(&b, "epoch_iters=%d\n", c.EpochIters)
 	fmt.Fprintf(&b, "home_occ=%d\n", homeOcc)
@@ -98,6 +99,7 @@ func (c Config) Canonical() string {
 	fmt.Fprintf(&b, "mesh=%s\n", mesh)
 	fmt.Fprintf(&b, "mode=%v\n", c.Mode)
 	fmt.Fprintf(&b, "placement=%v\n", c.Placement)
+	fmt.Fprintf(&b, "policy=%v\n", c.Policy)
 	fmt.Fprintf(&b, "procs=%d\n", c.Procs)
 	fmt.Fprintf(&b, "sched=%s\n", canonSched(c.SchedOverride))
 	fmt.Fprintf(&b, "stall_writes=%t\n", c.StallWrites)

@@ -8,6 +8,7 @@ import (
 	"specrt/internal/directory"
 	"specrt/internal/interconnect"
 	"specrt/internal/mem"
+	"specrt/internal/policy"
 	"specrt/internal/sched"
 )
 
@@ -68,6 +69,8 @@ func TestHashFieldFlips(t *testing.T) {
 		"MeshH":             func(c *Config) { c.MeshW, c.MeshH = 2, 4 },
 		"L1Bytes":           func(c *Config) { c.L1Bytes = 8 * 1024 },
 		"L2Bytes":           func(c *Config) { c.L2Bytes = 64 * 1024 },
+		"Policy":            func(c *Config) { c.Policy = policy.Adaptive },
+		"Director":          func(c *Config) { c.Policy = policy.Adaptive; c.Director = policy.Threshold },
 	}
 	if len(flips) != canonFieldCount {
 		t.Fatalf("flip table covers %d fields, Config has %d", len(flips), canonFieldCount)

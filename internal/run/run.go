@@ -20,6 +20,7 @@ import (
 	"specrt/internal/lrpd"
 	"specrt/internal/machine"
 	"specrt/internal/mem"
+	"specrt/internal/policy"
 	"specrt/internal/sched"
 	"specrt/internal/sim"
 )
@@ -197,6 +198,22 @@ type Config struct {
 	// them so a 1024-processor machine's cache metadata stays within
 	// memory while per-line behaviour is still exercised.
 	L1Bytes, L2Bytes int
+	// Policy switches the adaptive speculation layer on: with
+	// policy.Adaptive, each loop execution is one instance whose
+	// strategy (serial, software LRPD, hardware non-priv or priv, plus
+	// chunking) is chosen by the Director from the loop's recorded
+	// history, instead of Mode statically deciding every instance. The
+	// zero value (policy.Off) is the pre-policy behaviour. Adaptive runs
+	// are deterministic functions of (workload, config) like static
+	// ones. Incompatible with Mode Ideal and with AdaptiveAfter (the
+	// policy layer supersedes the §2.2.4 heuristic).
+	Policy policy.Kind
+	// Director picks the decision procedure of an adaptive run:
+	// policy.Static (the paper baseline — every instance runs the
+	// statically chosen scheme), policy.Threshold (STU-style confidence
+	// ladder) or policy.Cost (predicted-cycles model). Ignored when
+	// Policy is off.
+	Director policy.DirectorKind
 }
 
 // Result reports one Execute call.
@@ -245,6 +262,38 @@ type Result struct {
 	// HomeQueue aggregates directory/memory-server queueing across home
 	// nodes (meaningful when Config.Contention is set).
 	HomeQueue machine.HomeStats
+
+	// Director names the policy director that drove an adaptive run
+	// (empty when Config.Policy is off).
+	Director string
+	// Decisions is the per-instance decision trace of an adaptive run:
+	// what the director chose and what came of it, in instance order.
+	Decisions []PolicyDecision
+	// PolicySwitches counts instances whose chosen strategy differed
+	// from the previous instance's.
+	PolicySwitches int
+	// PolicyMispredicts counts instances whose chosen speculation
+	// failed (or excepted) and re-executed serially.
+	PolicyMispredicts int
+}
+
+// PolicyDecision is one adaptive instance's decision and outcome.
+type PolicyDecision struct {
+	Instance int
+	Strategy policy.Strategy
+	// Chunk is the director's chunk override (0 = workload default).
+	Chunk int
+	// Cycles is the instance's total time, failure handling included.
+	Cycles sim.Time
+	// Failed reports failed/excepted speculation (re-executed serially).
+	Failed bool
+	// TouchedPermille is the fraction of tested-array elements the
+	// instance accessed, in 1/1000ths.
+	TouchedPermille int
+	// CopyOutWords is the hardware-privatization copy-out volume.
+	CopyOutWords int64
+	// Switched marks a strategy change relative to the prior instance.
+	Switched bool
 }
 
 // MeanCyclesPerExec returns the average execution time of one loop
@@ -288,6 +337,13 @@ func Execute(w *Workload, cfg Config) (*Result, error) {
 func ExecuteWithProgress(w *Workload, cfg Config, progress ProgressFunc) (*Result, error) {
 	if err := validate(w, cfg); err != nil {
 		return nil, err
+	}
+	if cfg.Policy == policy.Adaptive {
+		d, err := policy.New(cfg.Director, policy.Decision{Strategy: staticStrategy(w, cfg.Mode)})
+		if err != nil {
+			return nil, err
+		}
+		return executeAdaptive(w, cfg, d, progress)
 	}
 	s := newSession(w, cfg)
 	res := &Result{
@@ -393,6 +449,24 @@ func validate(w *Workload, cfg Config) error {
 		if k != sched.Static {
 			return fmt.Errorf("run: processor-wise SW test requires static scheduling, got %v", k)
 		}
+	}
+	switch cfg.Policy {
+	case policy.Off:
+		if cfg.Director != policy.Static {
+			return fmt.Errorf("run: director %v requires policy adaptive", cfg.Director)
+		}
+	case policy.Adaptive:
+		if cfg.Mode == Ideal {
+			return fmt.Errorf("run: adaptive policy needs a real scheme (serial|sw|hw), not Ideal")
+		}
+		if cfg.AdaptiveAfter > 0 {
+			return fmt.Errorf("run: adaptive policy supersedes AdaptiveAfter (§2.2.4); unset one")
+		}
+		if cfg.Director > policy.Cost {
+			return fmt.Errorf("run: unknown director %d", cfg.Director)
+		}
+	default:
+		return fmt.Errorf("run: unknown policy %d", cfg.Policy)
 	}
 	for _, a := range w.Arrays {
 		switch a.ElemSize {

@@ -40,6 +40,14 @@ type session struct {
 	hwArrays []*core.Array
 	backups  []mem.Region // zero-valued if the array needs no backup
 
+	// Adaptive-policy hooks (nil / zero outside adaptive executions).
+	// polTouched[arr], when non-nil, observes which elements of an array
+	// under test the current instance accesses; chunkOverride, when
+	// positive, replaces the dynamic/block-cyclic chunk size for the
+	// current instance (a director's Level-1 coarsening).
+	polTouched    []*arena.Bits
+	chunkOverride int
+
 	// Software-scheme state. Per-execution bookkeeping lives on
 	// epoch-tagged arena tables allocated once per session and reset in
 	// O(1) between executions.

@@ -96,6 +96,9 @@ func TestSubmitBadRequests(t *testing.T) {
 		{"bad dirmode", JobRequest{Workload: "Track", Mode: "hw", Procs: 4, DirMode: "sparse"}},
 		{"bad sched", JobRequest{Workload: "Track", Mode: "hw", Procs: 4, Sched: "guided:2"}},
 		{"mesh too small", JobRequest{Workload: "Track", Mode: "hw", Procs: 16, Topology: "mesh:2x2"}},
+		{"bad policy", JobRequest{Workload: "Track", Mode: "hw", Procs: 4, Policy: "magic"}},
+		{"bad director", JobRequest{Workload: "Track", Mode: "hw", Procs: 4, Policy: "adaptive", Director: "oracle"}},
+		{"director without policy", JobRequest{Workload: "Track", Mode: "hw", Procs: 4, Director: "threshold"}},
 		{"not json", "]"},
 	}
 	for _, tc := range cases {
@@ -360,11 +363,45 @@ func TestRequestSpellingsShareKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	b, err := JobRequest{Workload: "Track", Mode: "HW", Procs: 4,
-		Topology: "ideal", Placement: "round-robin", DirMode: "full-map"}.Spec()
+		Topology: "ideal", Placement: "round-robin", DirMode: "full-map",
+		Policy: "off", Director: "static"}.Spec()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.Key() != b.Key() {
 		t.Fatalf("equivalent requests keyed differently:\n%s\n%s", a.Key(), b.Key())
+	}
+}
+
+// TestAdaptiveJobEndToEnd: an adaptive submission runs, reports the
+// policy section in its result, and hits the result cache on resubmit —
+// adaptive runs are deterministic functions of (workload, config), so
+// they cache exactly like static ones.
+func TestAdaptiveJobEndToEnd(t *testing.T) {
+	s := New(Options{Scale: harness.Quick, Parallel: 1})
+	req := JobRequest{Workload: "Track", Mode: "hw", Procs: 4,
+		Policy: "adaptive", Director: "threshold"}
+	sub := submitOK(t, s, req, "")
+	st := waitDone(t, s, sub.ID)
+	if st.Status != string(statusDone) {
+		t.Fatalf("adaptive job failed: %s", st.Error)
+	}
+	rep, err := stats.DecodeReport(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Policy == nil || rep.Policy.Director != "threshold" {
+		t.Fatalf("adaptive result missing policy section: %+v", rep.Policy)
+	}
+	if len(rep.Policy.Decisions) != rep.Executions {
+		t.Fatalf("trace has %d decisions for %d executions", len(rep.Policy.Decisions), rep.Executions)
+	}
+
+	again := submitOK(t, s, req, "")
+	if !again.Cached {
+		t.Fatalf("identical adaptive resubmission missed the result cache")
+	}
+	if again.Key != sub.Key {
+		t.Fatalf("resubmission keyed differently: %s vs %s", again.Key, sub.Key)
 	}
 }

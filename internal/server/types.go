@@ -9,6 +9,7 @@ import (
 	"specrt/internal/harness"
 	"specrt/internal/interconnect"
 	"specrt/internal/mem"
+	"specrt/internal/policy"
 	"specrt/internal/run"
 	"specrt/internal/sched"
 )
@@ -32,6 +33,12 @@ type JobRequest struct {
 	// Contention toggles the queueing contention model; omitted means
 	// on (the harness default for every figure cell).
 	Contention *bool `json:"contention,omitempty"`
+	// Policy switches the adaptive speculation layer on ("adaptive");
+	// omitted or "off" runs the mode statically, as ever.
+	Policy string `json:"policy,omitempty"`
+	// Director picks the adaptive decision procedure: "static",
+	// "threshold" or "cost". Requires Policy "adaptive".
+	Director string `json:"director,omitempty"`
 }
 
 // parseSched parses the Sched field.
@@ -89,6 +96,14 @@ func (jr JobRequest) Spec() (harness.JobSpec, error) {
 	if jr.Contention != nil {
 		contention = *jr.Contention
 	}
+	pol, err := policy.KindByName(jr.Policy)
+	if err != nil {
+		return zero, err
+	}
+	director, err := policy.DirectorByName(jr.Director)
+	if err != nil {
+		return zero, err
+	}
 	return harness.JobSpec{
 		Workload: jr.Workload,
 		Config: run.Config{
@@ -102,6 +117,8 @@ func (jr JobRequest) Spec() (harness.JobSpec, error) {
 			MeshH:         ncfg.MeshH,
 			Placement:     place,
 			DirMode:       dirMode,
+			Policy:        pol,
+			Director:      director,
 		},
 	}, nil
 }

@@ -44,6 +44,31 @@ type Report struct {
 	CoreStats    CoreGist           `json:"core_stats"`
 	NetStats     interconnect.Stats `json:"net_stats"`
 	HomeQueue    machine.HomeStats  `json:"home_queue"`
+
+	// Policy carries an adaptive run's director, per-instance decision
+	// trace and prediction counters. Nil outside adaptive runs, and
+	// omitted from the JSON so pre-policy reports stay byte-identical.
+	Policy *PolicyGist `json:"policy,omitempty"`
+}
+
+// PolicyGist is the adaptive layer's section of the report.
+type PolicyGist struct {
+	Director   string         `json:"director"`
+	Switches   int            `json:"switches"`
+	Mispredict int            `json:"mispredicts"`
+	Decisions  []DecisionGist `json:"decisions"`
+}
+
+// DecisionGist is one instance of the decision trace.
+type DecisionGist struct {
+	Instance        int    `json:"instance"`
+	Strategy        string `json:"strategy"`
+	Chunk           int    `json:"chunk,omitempty"`
+	Cycles          int64  `json:"cycles"`
+	Failed          bool   `json:"failed,omitempty"`
+	TouchedPermille int    `json:"touched_permille"`
+	CopyOutWords    int64  `json:"copy_out_words,omitempty"`
+	Switched        bool   `json:"switched,omitempty"`
 }
 
 // BreakdownGist is cpu.Breakdown with JSON names.
@@ -117,6 +142,27 @@ func ReportOf(r *run.Result) Report {
 	}
 	if r.InvariantErr != nil {
 		rep.InvariantViolation = r.InvariantErr.Error()
+	}
+	if r.Director != "" {
+		g := &PolicyGist{
+			Director:   r.Director,
+			Switches:   r.PolicySwitches,
+			Mispredict: r.PolicyMispredicts,
+			Decisions:  make([]DecisionGist, 0, len(r.Decisions)),
+		}
+		for _, d := range r.Decisions {
+			g.Decisions = append(g.Decisions, DecisionGist{
+				Instance:        d.Instance,
+				Strategy:        d.Strategy.String(),
+				Chunk:           d.Chunk,
+				Cycles:          int64(d.Cycles),
+				Failed:          d.Failed,
+				TouchedPermille: d.TouchedPermille,
+				CopyOutWords:    d.CopyOutWords,
+				Switched:        d.Switched,
+			})
+		}
+		rep.Policy = g
 	}
 	return rep
 }

@@ -7,6 +7,7 @@ import (
 
 	"specrt/internal/core"
 	"specrt/internal/loops"
+	"specrt/internal/policy"
 	"specrt/internal/run"
 )
 
@@ -56,6 +57,52 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(rep, got) {
 		t.Fatalf("round trip changed the report:\n%+v\nvs\n%+v", rep, got)
+	}
+}
+
+// TestReportPolicySection: adaptive runs carry the director and the
+// full decision trace; non-adaptive runs omit the section entirely, so
+// pre-policy reports stay byte-identical.
+func TestReportPolicySection(t *testing.T) {
+	w := loops.Track()
+	cfg := run.Config{Procs: 4, Mode: run.HW, MaxExecutions: 3}
+	plain := ReportOf(run.MustExecute(w, cfg))
+	if plain.Policy != nil {
+		t.Fatalf("non-adaptive report has a policy section: %+v", plain.Policy)
+	}
+	b, err := plain.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte(`"policy"`)) {
+		t.Fatalf("non-adaptive JSON mentions policy:\n%s", b)
+	}
+
+	acfg := cfg
+	acfg.Policy = policy.Adaptive
+	acfg.Director = policy.Cost
+	rep := ReportOf(run.MustExecute(loops.Track(), acfg))
+	if rep.Policy == nil || rep.Policy.Director != "cost" {
+		t.Fatalf("adaptive report policy section: %+v", rep.Policy)
+	}
+	if len(rep.Policy.Decisions) != 3 {
+		t.Fatalf("got %d decisions, want 3", len(rep.Policy.Decisions))
+	}
+	for i, d := range rep.Policy.Decisions {
+		if d.Instance != i || d.Strategy == "" || d.Cycles <= 0 {
+			t.Fatalf("decision %d malformed: %+v", i, d)
+		}
+	}
+	ab, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, got) {
+		t.Fatalf("policy section did not round-trip:\n%+v\nvs\n%+v", rep.Policy, got.Policy)
 	}
 }
 
