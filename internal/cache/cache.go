@@ -10,6 +10,8 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
+	"slices"
 	"sync"
 
 	"specrt/internal/abits"
@@ -87,6 +89,23 @@ type Cache struct {
 	slab    []abits.Word
 	scratch []abits.Word // last window of the slab
 	Stats   Stats
+
+	// pow2/lineShift/setMask strength-reduce the set-index computation
+	// when both the line size and the set count are powers of two (the
+	// §5.1 geometries always are): the generic divide-and-modulo by
+	// non-constant divisors showed up as one of the hottest instructions
+	// in the whole simulator, on every Lookup.
+	pow2      bool
+	lineShift uint64
+	setMask   uint64
+
+	// used records set indices that have held a valid line since the last
+	// FlushAll (appended on each Invalid->valid transition in Install).
+	// Whole-cache walks visit only these frames — in sorted order, so
+	// observable effects (writeback callbacks, bit resets) are identical
+	// to a full frame scan — instead of touching every frame of a mostly
+	// empty cache between executions.
+	used []int32
 }
 
 // slabPool recycles access-bit slabs between cache instances, keyed by
@@ -121,11 +140,14 @@ func putSlab(s []abits.Word) {
 	poolFor(slabPool, len(s)).Put(&s)
 }
 
+// getLines returns an all-Invalid frame array. Pooled arrays are already
+// zeroed: Release clears exactly the frames the used list covers, which
+// is every frame that has held a line since the last FlushAll (frames
+// invalidated individually are zeroed at that point), so a full
+// clear — 320 KB per L2 per execution — is not needed here.
 func getLines(sets int) []Line {
 	if v := poolFor(linePool, sets).Get(); v != nil {
-		lines := *(v.(*[]Line))
-		clear(lines) // stale tags and Bits alias a released slab
-		return lines
+		return *(v.(*[]Line))
 	}
 	return make([]Line, sets)
 }
@@ -151,6 +173,11 @@ func New(cfg Config) *Cache {
 		slab:    slab,
 		scratch: slab[sets*wpl : (sets+1)*wpl : (sets+1)*wpl],
 	}
+	if cfg.LineBytes&(cfg.LineBytes-1) == 0 && sets&(sets-1) == 0 {
+		c.pow2 = true
+		c.lineShift = uint64(bits.TrailingZeros64(uint64(cfg.LineBytes)))
+		c.setMask = uint64(sets - 1)
+	}
 	return c
 }
 
@@ -167,6 +194,12 @@ func (c *Cache) Release() {
 	if c.slab == nil {
 		return
 	}
+	// Restore the pooled-array invariant (see getLines): zero every frame
+	// touched since the last FlushAll; the rest are already zero.
+	for _, i := range c.used {
+		c.lines[i] = Line{}
+	}
+	c.used = c.used[:0]
 	putLines(c.lines)
 	c.lines = nil
 	putSlab(c.slab)
@@ -188,6 +221,9 @@ func (c *Cache) WordIndex(a mem.Addr) int {
 }
 
 func (c *Cache) set(line mem.Addr) int {
+	if c.pow2 {
+		return int(uint64(line) >> c.lineShift & c.setMask)
+	}
 	return int(uint64(line) / uint64(c.cfg.LineBytes) % uint64(c.sets))
 }
 
@@ -200,6 +236,19 @@ func (c *Cache) Lookup(a mem.Addr) *Line {
 		return fr
 	}
 	return nil
+}
+
+// SetOccupant returns the frame a's set currently holds, whatever line
+// it caches, or nil when the frame is empty. It is a classify-without-
+// performing probe: the execution fast path asks what Install would
+// displace before deciding whether an access is locally deterministic,
+// without touching statistics or state.
+func (c *Cache) SetOccupant(a mem.Addr) *Line {
+	fr := &c.lines[c.set(c.LineAddr(a))]
+	if fr.State == Invalid {
+		return nil
+	}
+	return fr
 }
 
 // Probe is Lookup plus hit/miss accounting.
@@ -235,6 +284,9 @@ func (c *Cache) Install(a mem.Addr, st State, bits []abits.Word) (victim Line, e
 		if victim.State == Dirty {
 			c.Stats.Writebacks++
 		}
+	}
+	if fr.State == Invalid {
+		c.used = append(c.used, int32(set))
 	}
 	fr.Tag = line
 	fr.State = st
@@ -301,18 +353,29 @@ func (c *Cache) Downgrade(a mem.Addr) (old Line, ok bool) {
 	return old, true
 }
 
+// touched returns the set indices that may hold valid lines, sorted and
+// deduplicated, so sparse walks observe frames in the same ascending
+// order a full scan would. Entries may point at since-invalidated
+// frames; callers check State.
+func (c *Cache) touched() []int32 {
+	slices.Sort(c.used)
+	c.used = slices.Compact(c.used)
+	return c.used
+}
+
 // FlushAll invalidates every line, invoking cb for each dirty line so the
 // caller can model the writeback. Used between loop executions (§5.2: "we
 // flush the caches after every execution").
 func (c *Cache) FlushAll(cb func(Line)) {
 	c.Stats.Flushes++
-	for i := range c.lines {
+	for _, i := range c.touched() {
 		fr := &c.lines[i]
 		if fr.State == Dirty && cb != nil {
 			cb(*fr)
 		}
 		*fr = Line{}
 	}
+	c.used = c.used[:0]
 }
 
 // ClearBits applies the hardware reset line to the access bits of every
@@ -320,7 +383,7 @@ func (c *Cache) FlushAll(cb func(Line)) {
 // of lines holding privatized data, or a general reset with keep == nil).
 // mutate receives each word and returns its cleared value.
 func (c *Cache) ClearBits(keep func(line mem.Addr) bool, mutate func(abits.Word) abits.Word) {
-	for i := range c.lines {
+	for _, i := range c.touched() {
 		fr := &c.lines[i]
 		if fr.State == Invalid || fr.Bits == nil {
 			continue
@@ -338,7 +401,7 @@ func (c *Cache) ClearBits(keep func(line mem.Addr) bool, mutate func(abits.Word)
 // The Line is passed by value; fn must not retain its Bits slice. Used by
 // invariant checkers to audit cache/directory agreement.
 func (c *Cache) ForEach(fn func(Line)) {
-	for i := range c.lines {
+	for _, i := range c.touched() {
 		if c.lines[i].State != Invalid {
 			fn(c.lines[i])
 		}

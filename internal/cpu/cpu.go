@@ -9,6 +9,7 @@ package cpu
 
 import (
 	"fmt"
+	"strings"
 
 	"specrt/internal/core"
 	"specrt/internal/machine"
@@ -120,6 +121,17 @@ func DefaultSyncCosts() SyncCosts {
 // work.
 type Source func(p *Proc) (Instr, bool)
 
+// BulkSource optionally supplements a Source: it returns a view of
+// instructions the source has ALREADY generated (never generating new
+// ones — generation may touch shared scheduling state, whose update
+// order must stay tied to consumption order), which the processor then
+// consumes without a per-instruction source call. An empty return falls
+// back to the plain Source. The view is owned by the processor until
+// fully consumed; the source must not reuse its backing storage before
+// its next generation, which cannot happen earlier than the processor's
+// next Source/BulkSource call.
+type BulkSource func(p *Proc) []Instr
+
 // Proc is one executing processor.
 type Proc struct {
 	ID   int
@@ -130,13 +142,54 @@ type Proc struct {
 	Instrs [8]uint64
 
 	src     Source
+	bulk    BulkSource
 	blocked bool
 	sys     *System
+
+	// q is the bulk-refill queue: a view of already-generated
+	// instructions handed over by bulk, consumed by index so the hot
+	// take path is a bounds check instead of an indirect call.
+	q  []Instr
+	qh int
 	// stepFn is the processor's step closure, bound once at system
 	// construction: scheduling it allocates nothing, where a fresh
 	// closure per instruction event would dominate the simulator's
 	// allocation profile.
 	stepFn func()
+
+	// pending is a one-instruction pushback buffer: sources are
+	// consuming closures, so when the fused fast path pulls an
+	// instruction it cannot execute inline, it parks it here for the
+	// stepped path to pick up at the right simulated time.
+	pending    Instr
+	hasPending bool
+
+	// waitKind/waitID identify what a blocked processor is waiting on
+	// ("lock" or "barrier" plus its ID), so a deadlock can name every
+	// blocked processor's wait object instead of just one ID.
+	waitKind string
+	waitID   int
+}
+
+// take returns the processor's next instruction, honoring the pushback
+// buffer and the bulk queue before consulting the source.
+func (p *Proc) take() (Instr, bool) {
+	if p.hasPending {
+		p.hasPending = false
+		return p.pending, true
+	}
+	if p.qh < len(p.q) {
+		in := p.q[p.qh]
+		p.qh++
+		return in, true
+	}
+	if p.bulk != nil {
+		if q := p.bulk(p); len(q) > 0 {
+			p.q, p.qh = q, 1
+			return q[0], true
+		}
+	}
+	return p.src(p)
 }
 
 // System drives a set of processors over a machine. If Ctl is non-nil,
@@ -146,6 +199,15 @@ type System struct {
 	M     *machine.Machine
 	Ctl   *core.Controller
 	Costs SyncCosts
+
+	// FastPath enables local-horizon batched execution: runs of compute
+	// and classified-pure cache hits execute inline in one event instead
+	// of one event each. The horizon rules in fuse() make the fused
+	// schedule cycle-exact with per-instruction stepping, so results are
+	// byte-identical either way; the run layer turns it off for
+	// invariant-checked executions and via run.Config.NoFastPath, and it
+	// self-disables whenever the engine has an order policy installed.
+	FastPath bool
 
 	Procs []*Proc
 
@@ -223,10 +285,18 @@ func (s *System) abort(f *core.Failure) {
 
 // Run executes the given instruction sources (one per participating
 // processor; sources[i] drives processor procIDs[i]) to completion or
-// abort, and returns the elapsed cycles.
-func (s *System) Run(procIDs []int, sources []Source) sim.Time {
+// abort, and returns the elapsed cycles. An optional bulk argument
+// supplies per-processor BulkSources parallel to sources.
+func (s *System) Run(procIDs []int, sources []Source, bulk ...[]BulkSource) sim.Time {
 	if len(procIDs) != len(sources) {
 		panic("cpu: procIDs and sources length mismatch")
+	}
+	var bulks []BulkSource
+	if len(bulk) > 0 {
+		bulks = bulk[0]
+		if len(bulks) != len(sources) {
+			panic("cpu: bulk sources and sources length mismatch")
+		}
 	}
 	s.aborted = false
 	s.excepted = false
@@ -248,19 +318,35 @@ func (s *System) Run(procIDs []int, sources []Source) sim.Time {
 	for i, id := range procIDs {
 		p := s.Procs[id]
 		p.src = sources[i]
+		p.bulk = nil
+		if bulks != nil {
+			p.bulk = bulks[i]
+		}
+		p.q, p.qh = nil, 0
 		p.Done = false
 		p.blocked = false
+		p.hasPending = false
+		p.waitKind = ""
 		s.M.Eng.Schedule(0, p.stepFn)
 	}
 	s.M.Eng.Run()
 	if !s.aborted {
+		var stuck []string
 		for _, id := range procIDs {
-			if !s.Procs[id].Done {
+			if p := s.Procs[id]; !p.Done {
 				// A blocked processor with no runnable events is a
 				// deadlock; silently truncating the phase would corrupt
 				// every result built on it.
-				panic(fmt.Sprintf("cpu: processor %d deadlocked (blocked at a lock or barrier)", id))
+				if p.waitKind != "" {
+					stuck = append(stuck, fmt.Sprintf("processor %d blocked at %s %d", p.ID, p.waitKind, p.waitID))
+				} else {
+					stuck = append(stuck, fmt.Sprintf("processor %d not done (no runnable events)", p.ID))
+				}
 			}
+		}
+		if len(stuck) > 0 {
+			panic(fmt.Sprintf("cpu: deadlock at simulated time %d: %s",
+				s.M.Eng.Now(), strings.Join(stuck, "; ")))
 		}
 	}
 	return s.M.Eng.Now() - s.started
@@ -274,7 +360,9 @@ func (s *System) finish(p *Proc) {
 	}
 }
 
-// step executes one instruction of p and schedules the next step.
+// step runs when a processor's next instruction is due: it executes one
+// instruction — or, on the fast path, a whole run of locally
+// deterministic ones — and schedules the step for whatever follows.
 func (s *System) step(p *Proc) {
 	if p.Done || p.blocked {
 		return
@@ -283,11 +371,146 @@ func (s *System) step(p *Proc) {
 		s.finish(p)
 		return
 	}
-	in, ok := p.src(p)
-	if !ok {
+	// The bulk-queue fast case is written out here (and in fuse's loop):
+	// one call per instruction to take() is measurable at instruction
+	// volume, and this branch hits whenever a bulk source is wired.
+	var in Instr
+	var ok bool
+	if !p.hasPending && p.qh < len(p.q) {
+		in, ok = p.q[p.qh], true
+		p.qh++
+	} else if in, ok = p.take(); !ok {
 		s.finish(p)
 		return
 	}
+	if s.FastPath && !s.M.Eng.OrderPolicyActive() && s.fuse(p, in) {
+		return
+	}
+	s.exec1(p, in)
+}
+
+// fuse executes a local-horizon batch starting with `first` and reports
+// whether it handled it (false: nothing was consumed or performed; the
+// caller runs the stepped path).
+//
+// Exactness argument. In stepped mode, instruction i of the run executes
+// inside an event at its issue time T_i, and T_{i+1} = T_i + lat_i. A
+// fused instruction is locally deterministic — it schedules nothing,
+// reads nothing time-dependent, and cannot fail — so while the batch
+// runs, no event executes and none is added: the earliest pending event
+// time (`limit`) is constant, computed once up front. Fusing instruction
+// i is allowed only while T_i < limit (the first instruction is exempt:
+// this step event IS its issue at T_0 = now). That guarantees every
+// fused instruction would have issued before any pending event in
+// stepped mode — including an abort: aborts originate from events, which
+// all lie at or beyond limit, so a speculation failure lands exactly
+// between the fused run and the single follow-up step scheduled at its
+// end, where the stepped schedule would also have put it. Cycle
+// accounting per instruction is byte-for-byte the stepped arithmetic,
+// and the accesses themselves are performed through the normal
+// read/write entry points, so stats and tag-bit state match too.
+func (s *System) fuse(p *Proc, first Instr) bool {
+	eng := s.M.Eng
+	limit, bounded := eng.PeekTime()
+	end := eng.Now()
+	if bounded && limit-end < 2 {
+		// Another event is due within a cycle (processors running in
+		// lockstep): no second instruction can fit before the limit, so a
+		// batch would hold exactly one instruction — all classification
+		// overhead, no saved events. Step instead.
+		return false
+	}
+	lat, ok := s.fuseOne(p, first)
+	if !ok {
+		return false
+	}
+	end += lat
+	for {
+		if bounded && end >= limit {
+			break
+		}
+		var in Instr
+		var ok bool
+		if !p.hasPending && p.qh < len(p.q) {
+			in, ok = p.q[p.qh], true
+			p.qh++
+		} else if in, ok = p.take(); !ok {
+			// Source exhausted: the step below observes it at the run's
+			// end time and finishes the processor, as stepped mode would.
+			break
+		}
+		lat, ok := s.fuseOne(p, in)
+		if !ok {
+			p.pending, p.hasPending = in, true
+			break
+		}
+		end += lat
+	}
+	eng.At(end, p.stepFn)
+	return true
+}
+
+// fuseOne classifies one instruction and, if it is locally deterministic,
+// performs it inline, returning the latency to advance the virtual clock
+// by. ok=false leaves the instruction unperformed and uncounted.
+func (s *System) fuseOne(p *Proc, in Instr) (sim.Time, bool) {
+	switch in.Kind {
+	case KCompute:
+		p.Instrs[KCompute]++
+		p.B.Busy += in.Cycles
+		return in.Cycles, true
+
+	case KLoad:
+		lat, ok := s.tryRead(p.ID, in.Addr)
+		if !ok {
+			return 0, false
+		}
+		p.Instrs[KLoad]++
+		s.accountMem(p, lat)
+		return lat, true
+
+	case KStore:
+		lat, ok := s.tryWrite(p.ID, in.Addr)
+		if !ok {
+			return 0, false
+		}
+		p.Instrs[KStore]++
+		s.accountMem(p, lat)
+		return lat, true
+	}
+	return 0, false
+}
+
+// accountMem splits a memory access latency into Busy and Mem exactly as
+// the stepped path does.
+func (s *System) accountMem(p *Proc, lat sim.Time) {
+	busy := lat
+	if busy > s.M.Cfg.Lat.L1Hit {
+		busy = s.M.Cfg.Lat.L1Hit
+	}
+	p.B.Busy += busy
+	p.B.Mem += lat - busy
+}
+
+// tryRead/tryWrite classify-and-perform an access in one pass for the
+// fast path, dispatching to the armed controller or the plain machine.
+func (s *System) tryRead(p int, a mem.Addr) (sim.Time, bool) {
+	if s.Ctl != nil {
+		return s.Ctl.TryRead(p, a)
+	}
+	return s.M.TryFastRead(p, a)
+}
+
+func (s *System) tryWrite(p int, a mem.Addr) (sim.Time, bool) {
+	if s.Ctl != nil {
+		return s.Ctl.TryWrite(p, a)
+	}
+	return s.M.TryFastWrite(p, a)
+}
+
+// exec1 executes one instruction of p on the stepped path and schedules
+// the next step.
+func (s *System) exec1(p *Proc, in Instr) {
 	p.Instrs[in.Kind]++
 	eng := s.M.Eng
 
@@ -387,6 +610,7 @@ func (s *System) lockAcquire(p *Proc, id int) {
 		return
 	}
 	p.blocked = true
+	p.waitKind, p.waitID = "lock", id
 	l.waiters = append(l.waiters, p)
 	l.arrived = append(l.arrived, s.M.Eng.Now())
 }
@@ -408,6 +632,7 @@ func (s *System) lockRelease(p *Proc, id int) {
 	l.arrived = l.arrived[1:]
 	handoff := s.Costs.LockHandoff
 	w.blocked = false
+	w.waitKind = ""
 	release := s.M.Eng.Now()
 	w.B.Sync += release - at + handoff
 	s.M.Eng.Schedule(handoff, w.stepFn)
@@ -428,6 +653,7 @@ func (s *System) barrierArrive(p *Proc, id int) {
 	b.arrived = append(b.arrived, s.M.Eng.Now())
 	if len(b.procs) < b.need {
 		p.blocked = true
+		p.waitKind, p.waitID = "barrier", id
 		return
 	}
 	// Last arrival releases everyone.
@@ -435,6 +661,7 @@ func (s *System) barrierArrive(p *Proc, id int) {
 	cost := s.Costs.BarrierCost
 	for i, q := range b.procs {
 		q.blocked = false
+		q.waitKind = ""
 		q.B.Sync += release - b.arrived[i] + cost
 		s.M.Eng.Schedule(cost, q.stepFn)
 	}
@@ -453,4 +680,29 @@ func SliceSource(instrs []Instr) Source {
 		i++
 		return in, true
 	}
+}
+
+// SliceSourceBulk adapts a pre-built instruction slice into a Source and
+// a matching BulkSource. A fixed slice has no generation side effects,
+// so the bulk view can always hand over the whole remainder. The caller
+// must not mutate instrs while the processor runs.
+func SliceSourceBulk(instrs []Instr) (Source, BulkSource) {
+	i := 0
+	src := func(*Proc) (Instr, bool) {
+		if i >= len(instrs) {
+			return Instr{}, false
+		}
+		in := instrs[i]
+		i++
+		return in, true
+	}
+	bulk := func(*Proc) []Instr {
+		if i >= len(instrs) {
+			return nil
+		}
+		b := instrs[i:]
+		i = len(instrs)
+		return b
+	}
+	return src, bulk
 }

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"strings"
 	"testing"
 
 	"specrt/internal/core"
@@ -303,6 +304,39 @@ func TestDeadlockPanics(t *testing.T) {
 	s.Run([]int{0, 1}, []Source{
 		SliceSource([]Instr{LockAcq(1), Compute(10)}), // holds forever
 		SliceSource([]Instr{LockAcq(1), Compute(10)}), // waits forever
+	})
+}
+
+func TestDeadlockPanicNamesWaiters(t *testing.T) {
+	// The deadlock panic must carry enough to debug it: the simulated
+	// time of the stall and, for each stuck processor, the object it is
+	// blocked on. One processor reaches a two-party barrier that its
+	// partner (stuck behind a never-released lock) can never join.
+	s, _ := newSys(t, 2, false)
+	s.SetBarrier(3, 2)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("deadlocked run did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, want := range []string{
+			"deadlock at simulated time 1", // p0 takes lock 7 (1 cycle) and reaches barrier 3; p1 blocks on the lock
+			"processor 0 blocked at barrier 3",
+			"processor 1 blocked at lock 7",
+		} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("deadlock panic %q missing %q", msg, want)
+			}
+		}
+	}()
+	s.Costs.LockAcquire = 1
+	s.Run([]int{0, 1}, []Source{
+		SliceSource([]Instr{LockAcq(7), Barrier(3)}), // holds the lock at the barrier
+		SliceSource([]Instr{LockAcq(7), Barrier(3)}), // can never get there
 	})
 }
 

@@ -34,6 +34,7 @@ func (h *Harness) AblationTrackChunks() []ChunkRow {
 		cfg := run.Config{
 			Procs: 16, Mode: run.HW, Contention: true,
 			MaxExecutions: h.Scale.TrackExecs,
+			NoFastPath:    h.NoFastPath,
 		}
 		if chunk == 0 {
 			cfg.SchedOverride = &sched.Config{Kind: sched.Static}
@@ -79,10 +80,12 @@ func (h *Harness) AblationContention() []ContentionRow {
 	for _, name := range []string{"P3m", "Track"} {
 		w, maxExec := h.workload(name)
 		on := run.MustExecute(w, run.Config{
-			Procs: 16, Mode: run.HW, Contention: true, MaxExecutions: maxExec})
+			Procs: 16, Mode: run.HW, Contention: true, MaxExecutions: maxExec,
+			NoFastPath: h.NoFastPath})
 		w2, _ := h.workload(name)
 		off := run.MustExecute(w2, run.Config{
-			Procs: 16, Mode: run.HW, Contention: false, MaxExecutions: maxExec})
+			Procs: 16, Mode: run.HW, Contention: false, MaxExecutions: maxExec,
+			NoFastPath: h.NoFastPath})
 		rows = append(rows, ContentionRow{
 			Loop: name, WithContention: on.Cycles, WithoutContention: off.Cycles})
 	}
@@ -137,7 +140,7 @@ func (h *Harness) AblationBitGranularity() []GrainRow {
 	var rows []GrainRow
 	for _, lineGrain := range []bool{false, true} {
 		w := mk()
-		r := executeWithGrain(w, lineGrain)
+		r := executeWithGrain(w, lineGrain, h.NoFastPath)
 		name := "word"
 		if lineGrain {
 			name = "line"
@@ -149,8 +152,8 @@ func (h *Harness) AblationBitGranularity() []GrainRow {
 
 // executeWithGrain runs a workload under HW with the chosen access-bit
 // granularity.
-func executeWithGrain(w *run.Workload, lineGrain bool) *run.Result {
-	cfg := run.Config{Procs: 8, Mode: run.HW, Contention: true}
+func executeWithGrain(w *run.Workload, lineGrain, noFast bool) *run.Result {
+	cfg := run.Config{Procs: 8, Mode: run.HW, Contention: true, NoFastPath: noFast}
 	cfg.LineGrainBits = lineGrain
 	return run.MustExecute(w, cfg)
 }
@@ -200,7 +203,7 @@ func (h *Harness) AblationReadIn() []RicoRow {
 	}
 	var rows []RicoRow
 	for _, rico := range []bool{true, false} {
-		r := run.MustExecute(mk(rico), run.Config{Procs: 8, Mode: run.HW, Contention: true})
+		r := run.MustExecute(mk(rico), run.Config{Procs: 8, Mode: run.HW, Contention: true, NoFastPath: h.NoFastPath})
 		rows = append(rows, RicoRow{RICO: rico, Failures: r.Failures})
 	}
 	return rows

@@ -41,6 +41,7 @@ func (h *Harness) AblationEpochs() []EpochRow {
 	for _, epoch := range []int{0, 512, 128, 32, 8} {
 		r := run.MustExecute(mk(), run.Config{
 			Procs: 8, Mode: run.HW, Contention: true, EpochIters: epoch,
+			NoFastPath: h.NoFastPath,
 		})
 		rows = append(rows, EpochRow{EpochIters: epoch, Cycles: r.Cycles, Failures: r.Failures})
 	}
@@ -113,8 +114,8 @@ func (h *Harness) AblationSparseBackup() []SparseRow {
 		if sparse {
 			name = "save-on-first-write"
 		}
-		pass := run.MustExecute(mk(sparse, false), run.Config{Procs: 16, Mode: run.HW, Contention: true})
-		fail := run.MustExecute(mk(sparse, true), run.Config{Procs: 16, Mode: run.HW, Contention: true})
+		pass := run.MustExecute(mk(sparse, false), run.Config{Procs: 16, Mode: run.HW, Contention: true, NoFastPath: h.NoFastPath})
+		fail := run.MustExecute(mk(sparse, true), run.Config{Procs: 16, Mode: run.HW, Contention: true, NoFastPath: h.NoFastPath})
 		rows = append(rows, SparseRow{Strategy: name, PassCost: pass.Cycles, FailCost: fail.Cycles})
 	}
 	return rows
@@ -185,7 +186,7 @@ func (h *Harness) AblationPrivGranularity() []GranularityRow {
 	var rows []GranularityRow
 	for _, tc := range cases {
 		r := run.MustExecute(mk(tc.kind, tc.chunk),
-			run.Config{Procs: 8, Mode: run.HW, Contention: true})
+			run.Config{Procs: 8, Mode: run.HW, Contention: true, NoFastPath: h.NoFastPath})
 		if r.Failures != 0 {
 			panic("privgrain workload failed: " + r.FirstFailure.Error())
 		}
@@ -251,6 +252,7 @@ func (h *Harness) AblationAdaptive() []AdaptiveRow {
 			}
 			r := run.MustExecute(mk(), run.Config{
 				Procs: 8, Mode: mode, Contention: true, AdaptiveAfter: adaptive,
+				NoFastPath: h.NoFastPath,
 			})
 			rows = append(rows, AdaptiveRow{
 				Policy: name, Cycles: r.Cycles,

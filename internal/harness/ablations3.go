@@ -27,11 +27,12 @@ func (h *Harness) AblationWriteStall() []StallRow {
 		procs := loops.Procs(name)
 		w, maxExec := h.workload(name)
 		fast := run.MustExecute(w, run.Config{
-			Procs: procs, Mode: run.HW, Contention: true, MaxExecutions: maxExec})
+			Procs: procs, Mode: run.HW, Contention: true, MaxExecutions: maxExec,
+			NoFastPath: h.NoFastPath})
 		w2, _ := h.workload(name)
 		slow := run.MustExecute(w2, run.Config{
 			Procs: procs, Mode: run.HW, Contention: true, MaxExecutions: maxExec,
-			StallWrites: true})
+			StallWrites: true, NoFastPath: h.NoFastPath})
 		rows = append(rows, StallRow{Loop: name, NonStalling: fast.Cycles, Stalling: slow.Cycles})
 	}
 	return rows
@@ -95,7 +96,7 @@ func (h *Harness) AblationDirectoryOccupancy() []OccRow {
 	for _, tc := range cases {
 		// Execute with scaled home occupancy by running through the
 		// machine config override path.
-		r := executeWithOccupancy(mk(tc.mult), tc.mult)
+		r := executeWithOccupancy(mk(tc.mult), tc.mult, h.NoFastPath)
 		base := machine.DefaultLatencies().HomeOccLine
 		rows = append(rows, OccRow{Label: tc.label, Occ: base * tc.mult, Cycles: r.Cycles})
 	}
@@ -104,9 +105,10 @@ func (h *Harness) AblationDirectoryOccupancy() []OccRow {
 
 // executeWithOccupancy runs a workload with the home-node occupancy
 // scaled, modelling slower (programmable) directory handlers.
-func executeWithOccupancy(w *run.Workload, mult int64) *run.Result {
+func executeWithOccupancy(w *run.Workload, mult int64, noFast bool) *run.Result {
 	return run.MustExecute(w, run.Config{
 		Procs: 16, Mode: run.HW, Contention: true, HomeOccMultiplier: mult,
+		NoFastPath: noFast,
 	})
 }
 

@@ -203,6 +203,7 @@ func (h *Harness) DirectorCell(workload, scheme string, instances int) DirectorR
 		Topology: h.Topology, Placement: h.Placement,
 		MeshW: h.MeshW, MeshH: h.MeshH, DirMode: h.DirMode,
 		MaxExecutions: instances,
+		NoFastPath:    h.NoFastPath,
 	}
 	var res *run.Result
 	var err error

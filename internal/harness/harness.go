@@ -65,6 +65,12 @@ type Harness struct {
 	MeshW, MeshH int
 	DirMode      directory.Mode
 
+	// NoFastPath pins per-instruction stepped execution for every cell
+	// (run.Config.NoFastPath). Results are byte-identical either way —
+	// the CI smoke test asserts exactly that by diffing a full run with
+	// the flag against one without.
+	NoFastPath bool
+
 	par int           // worker-pool size
 	sem chan struct{} // bounds concurrently running simulations
 
@@ -146,6 +152,7 @@ func (h *Harness) Result(name string, mode run.Mode, procs int) *run.Result {
 			MeshW:         h.MeshW,
 			MeshH:         h.MeshH,
 			DirMode:       h.DirMode,
+			NoFastPath:    h.NoFastPath,
 		})
 		h.simulated.Add(1)
 	})
@@ -322,7 +329,8 @@ func (h *Harness) Fig13() Fig13Result {
 		}
 		cfg := run.Config{Procs: procs, Contention: true,
 			Topology: h.Topology, Placement: h.Placement,
-			MeshW: h.MeshW, MeshH: h.MeshH, DirMode: h.DirMode}
+			MeshW: h.MeshW, MeshH: h.MeshH, DirMode: h.DirMode,
+			NoFastPath: h.NoFastPath}
 		switch slot {
 		case 0:
 			cfg.Procs, cfg.Mode = 1, run.Serial

@@ -71,8 +71,9 @@ func (h *Harness) AblationMeshContention() []MeshRow {
 			w := meshWorkload(test)
 			r := run.MustExecute(w, run.Config{
 				Procs: 16, Mode: run.HW, Contention: true,
-				Topology:  interconnect.Mesh,
-				Placement: place,
+				Topology:   interconnect.Mesh,
+				Placement:  place,
+				NoFastPath: h.NoFastPath,
 			})
 			rows = append(rows, MeshRow{
 				Loop:      w.Name[len("mesh-"):],

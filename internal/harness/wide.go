@@ -116,6 +116,7 @@ func (h *Harness) WideCell(workload string, procs int, dir directory.Mode, topo 
 		L1Bytes:       8 << 10,
 		L2Bytes:       64 << 10,
 		MaxExecutions: 1,
+		NoFastPath:    h.NoFastPath,
 	})
 	return WideRow{
 		Workload: workload, Procs: procs, Dir: dir, Topology: topo,

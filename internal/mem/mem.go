@@ -97,10 +97,12 @@ func (r Region) End() Addr { return r.Base + Addr(r.Bytes) }
 
 // Space is the machine's physical address space.
 type Space struct {
-	Nodes   int
-	next    Addr
-	regions []Region
-	rrNext  int // next node for round-robin page placement continuity
+	Nodes    int
+	next     Addr
+	regions  []Region
+	rrNext   int // next node for round-robin page placement continuity
+	last     int // region index of the last successful lookup (memo)
+	nodeMask int // Nodes-1 when Nodes is a power of two, else -1
 }
 
 // NewSpace creates an address space for a machine with n nodes.
@@ -108,9 +110,13 @@ func NewSpace(n int) *Space {
 	if n <= 0 {
 		panic("mem: need at least one node")
 	}
+	mask := -1
+	if n&(n-1) == 0 {
+		mask = n - 1
+	}
 	// Start allocation above page 0 so that Addr 0 is never a valid
 	// element address (useful as a sentinel).
-	return &Space{Nodes: n, next: PageSize}
+	return &Space{Nodes: n, next: PageSize, nodeMask: mask}
 }
 
 // Alloc carves a region of elems elements of elemSize bytes with the given
@@ -142,11 +148,11 @@ func (s *Space) Alloc(name string, elems, elemSize int, place Placement, node in
 
 // HomeNode returns the node whose memory module holds address a.
 func (s *Space) HomeNode(a Addr) int {
-	r, ok := s.FindRegion(a)
-	if !ok {
+	r := s.findRegion(a)
+	if r == nil {
 		// Unallocated addresses (e.g. lock words modelled ad hoc)
 		// interleave by page.
-		return int(uint64(a) / PageSize % uint64(s.Nodes))
+		return s.pageNode(uint64(a) / PageSize)
 	}
 	if r.place == Local {
 		return r.node
@@ -160,19 +166,44 @@ func (s *Space) HomeNode(a Addr) int {
 		}
 		return node
 	}
-	return int(pageInRegion % uint64(s.Nodes))
+	return s.pageNode(pageInRegion)
+}
+
+// pageNode interleaves a page number across the nodes; the modulo is a
+// mask for power-of-two node counts (every §5 configuration), since this
+// sits on the per-access home-lookup path.
+func (s *Space) pageNode(page uint64) int {
+	if s.nodeMask >= 0 {
+		return int(page) & s.nodeMask
+	}
+	return int(page % uint64(s.Nodes))
 }
 
 // FindRegion returns the region containing a, if any.
 func (s *Space) FindRegion(a Addr) (Region, bool) {
+	if r := s.findRegion(a); r != nil {
+		return *r, true
+	}
+	return Region{}, false
+}
+
+// findRegion is FindRegion without the value copy, for the hot home-node
+// path. The returned pointer is invalidated by the next Alloc.
+func (s *Space) findRegion(a Addr) *Region {
+	// Accesses are heavily region-local, so try the last hit before the
+	// binary search (memo only affects speed, never the result).
+	if i := s.last; i < len(s.regions) && s.regions[i].Contains(a) {
+		return &s.regions[i]
+	}
 	// Regions are allocated in increasing address order; binary search.
 	i := sort.Search(len(s.regions), func(i int) bool {
 		return s.regions[i].End() > a
 	})
 	if i < len(s.regions) && s.regions[i].Contains(a) {
-		return s.regions[i], true
+		s.last = i
+		return &s.regions[i]
 	}
-	return Region{}, false
+	return nil
 }
 
 // Regions returns all allocated regions in address order.

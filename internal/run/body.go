@@ -12,8 +12,10 @@ import (
 // applies its protocol by address range), or the instrumented form the
 // software scheme requires (shadow marking, privatized storage, read-in).
 func (s *session) emitAccess(c *Ctx, arr, elem int, write bool) {
-	spec := s.w.Arrays[arr]
-	shared := s.shared[arr]
+	// Pointers, not copies: this runs once per logical access, and an
+	// ArraySpec/Region copy per call is measurable at that volume.
+	spec := &s.w.Arrays[arr]
+	shared := &s.shared[arr]
 	buf := c.buf
 
 	if s.polTouched != nil {
@@ -110,6 +112,22 @@ type loopGen struct {
 	haveBlock bool
 	grabbing  bool // dynamic: the lock/grab sequence is in flight
 	finished  bool
+}
+
+// fill hands the processor a view of the already-generated remainder of
+// the buffer (see cpu.BulkSource). It never calls generate: generation
+// consumes shared scheduling state (the dynamic dispenser) and appends
+// to the access trace, so its order must stay tied to consumption order
+// exactly as next keeps it. The view stays valid until the processor
+// exhausts it — only then can next run generate, which is the earliest
+// point the buffer's backing array is reset or regrown.
+func (g *loopGen) fill(*cpu.Proc) []cpu.Instr {
+	if g.pos >= len(g.buf) {
+		return nil
+	}
+	b := g.buf[g.pos:]
+	g.pos = len(g.buf)
+	return b
 }
 
 func (g *loopGen) next(*cpu.Proc) (cpu.Instr, bool) {
@@ -235,11 +253,13 @@ func (s *session) loopWindow(exec, lo, hi int) {
 	if s.loopGens == nil {
 		s.loopGens = make([]*loopGen, s.procs)
 		s.loopSrc = make([]cpu.Source, s.procs)
+		s.loopBulk = make([]cpu.BulkSource, s.procs)
 		s.loopBufs = make([][]cpu.Instr, s.procs)
 		for p := 0; p < s.procs; p++ {
 			g := &loopGen{}
 			s.loopGens[p] = g
 			s.loopSrc[p] = g.next
+			s.loopBulk[p] = g.fill
 			s.loopBufs[p] = getInstrBuf()
 		}
 	}
@@ -273,7 +293,7 @@ func (s *session) loopWindow(exec, lo, hi int) {
 			g.blocks = shift(g.blocks, sched.BlockCyclicBlocks(iters, s.procs, cfg.Chunk)[p])
 		}
 	}
-	s.sys.Run(s.procIDs, s.loopSrc)
+	s.sys.Run(s.procIDs, s.loopSrc, s.loopBulk)
 	for p, g := range s.loopGens {
 		s.loopBufs[p] = g.buf
 	}

@@ -71,6 +71,7 @@ func TestHashFieldFlips(t *testing.T) {
 		"L2Bytes":           func(c *Config) { c.L2Bytes = 64 * 1024 },
 		"Policy":            func(c *Config) { c.Policy = policy.Adaptive },
 		"Director":          func(c *Config) { c.Policy = policy.Adaptive; c.Director = policy.Threshold },
+		"NoFastPath":        func(c *Config) { c.NoFastPath = true },
 	}
 	if len(flips) != canonFieldCount {
 		t.Fatalf("flip table covers %d fields, Config has %d", len(flips), canonFieldCount)

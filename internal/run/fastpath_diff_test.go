@@ -1,0 +1,83 @@
+package run_test
+
+import (
+	"reflect"
+	"testing"
+
+	"specrt/internal/core"
+	"specrt/internal/loops"
+	"specrt/internal/run"
+)
+
+// External test package: the loops package imports run, so the workload
+// differential lives out here to use the paper workloads directly.
+
+// diffWorkload executes w twice under cfg — batched fast path on and
+// off — and requires the two Results to be deeply equal. The fast path
+// claims exactness, so every reported number (cycles, breakdowns,
+// failure counts, detection times, verdicts, machine stats) must match.
+func diffWorkload(t *testing.T, w *run.Workload, cfg run.Config) *run.Result {
+	t.Helper()
+	cfg.NoFastPath = false
+	fast := run.MustExecute(w, cfg)
+	cfg.NoFastPath = true
+	stepped := run.MustExecute(w, cfg)
+	if !reflect.DeepEqual(fast, stepped) {
+		t.Errorf("%s/%s: batched and stepped results differ\nbatched: %+v\nstepped: %+v",
+			w.Name, cfg.Mode, fast, stepped)
+	}
+	return fast
+}
+
+// TestFastPathWorkloadDifferential runs the four paper workloads and the
+// four §6.2 forced-failure instances under SW and HW, batched vs
+// stepped.
+func TestFastPathWorkloadDifferential(t *testing.T) {
+	ws := []*run.Workload{loops.Ocean(), loops.P3m(300), loops.Adm(), loops.Track()}
+	ws = append(ws, loops.ForcedFails(300)...)
+	for _, w := range ws {
+		for _, mode := range []run.Mode{run.SW, run.HW} {
+			cfg := run.Config{Procs: 4, Mode: mode, MaxExecutions: 2}
+			diffWorkload(t, w, cfg)
+		}
+	}
+}
+
+// TestFastPathAbortMidBatch is the abort-mid-batch regression: every
+// processor sits in a long fusable run (compute + clean per-iteration
+// cache hits) when one iteration's store collides with the element all
+// the others have read. The resulting speculation failure must land
+// inside the other processors' fused runs at exactly the cycle the
+// stepped execution reports.
+func TestFastPathAbortMidBatch(t *testing.T) {
+	w := &run.Workload{
+		Name:       "abort-mid-batch",
+		Executions: 2,
+		Iterations: func(int) int { return 32 },
+		Arrays: []run.ArraySpec{
+			{Name: "W", Elems: 256, ElemSize: 4, Test: core.NonPriv},
+		},
+		Body: func(_, iter int, c *run.Ctx) {
+			// A long deterministic stretch: compute fused with loads of a
+			// per-iteration element that stays a cache hit after the first
+			// touch. This is the window the failure must interrupt.
+			for k := 0; k < 8; k++ {
+				c.Compute(40)
+				c.Load(0, 8+iter)
+			}
+			if iter == 20 {
+				// Collides with every iteration's read of element 0 below:
+				// a write to data other processors have read (§3.2).
+				c.Store(0, 0)
+			}
+			c.Load(0, 0)
+		},
+	}
+	res := diffWorkload(t, w, run.Config{Procs: 4, Mode: run.HW})
+	if res.Failures == 0 {
+		t.Fatalf("abort-mid-batch: expected speculation failures, got none (result %+v)", res)
+	}
+	if res.FirstFailure == nil {
+		t.Fatalf("abort-mid-batch: expected a recorded first failure")
+	}
+}

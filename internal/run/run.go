@@ -214,6 +214,12 @@ type Config struct {
 	// ladder) or policy.Cost (predicted-cycles model). Ignored when
 	// Policy is off.
 	Director policy.DirectorKind
+	// NoFastPath pins per-instruction stepped execution, disabling the
+	// local-horizon batched fast path (internal/cpu). The fast path is
+	// exact — results are byte-identical either way — so this is an
+	// escape hatch for differential testing and perf debugging, not a
+	// semantic knob. CheckInvariants implies it.
+	NoFastPath bool
 }
 
 // Result reports one Execute call.

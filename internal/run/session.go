@@ -71,16 +71,18 @@ type session struct {
 	sparseSaved []*arena.Bits
 	trace       [][]lrpd.Op   // [array] recorded accesses of this execution
 	staticMap   []sched.Block // schedule used, for the processor-wise test
-	// insBuf/srcBuf are the reusable per-processor instruction buffers of
-	// the copy and merge phases.
-	insBuf [][]cpu.Instr
-	srcBuf []cpu.Source
+	// insBuf/srcBuf/bulkBuf are the reusable per-processor instruction
+	// buffers of the copy and merge phases.
+	insBuf  [][]cpu.Instr
+	srcBuf  []cpu.Source
+	bulkBuf []cpu.BulkSource
 	// loopBufs/loopGens are the reusable per-processor generator state of
 	// the loop phase; the generated-instruction buffers persist across
 	// windows and executions.
 	loopBufs [][]cpu.Instr
 	loopGens []*loopGen
 	loopSrc  []cpu.Source
+	loopBulk []cpu.BulkSource
 }
 
 func newSession(w *Workload, cfg Config) *session {
@@ -138,6 +140,10 @@ func newSession(w *Workload, cfg Config) *session {
 	}
 
 	s.sys = cpu.NewSystem(m, s.ctl)
+	// The fast path is exact by construction, but invariant-checked runs
+	// audit every directory transaction in stepped order, so they pin
+	// the stepped path wholesale rather than reason about fused runs.
+	s.sys.FastPath = !cfg.NoFastPath && !cfg.CheckInvariants
 	s.sys.SetBarrier(phaseBarrier, procs)
 
 	// Backup copies for arrays modified in place by the speculative
@@ -428,7 +434,8 @@ func (s *session) serialReexec(exec int) (sim.Time, cpu.Breakdown) {
 		Body:       func(_, iter int, c *Ctx) { s.w.Body(exec, iter, c) },
 	}
 	r := MustExecute(w1, Config{Procs: 1, Mode: Serial, Contention: s.cfg.Contention,
-		Topology: s.cfg.Topology, L1Bytes: s.cfg.L1Bytes, L2Bytes: s.cfg.L2Bytes})
+		Topology: s.cfg.Topology, L1Bytes: s.cfg.L1Bytes, L2Bytes: s.cfg.L2Bytes,
+		NoFastPath: s.cfg.NoFastPath})
 	return r.Cycles, r.Breakdown
 }
 
@@ -492,6 +499,7 @@ func (s *session) elemsPerLine(r mem.Region) int {
 func (s *session) phaseBufs() []cpu.Source {
 	if s.srcBuf == nil {
 		s.srcBuf = make([]cpu.Source, s.procs)
+		s.bulkBuf = make([]cpu.BulkSource, s.procs)
 		s.insBuf = make([][]cpu.Instr, s.procs)
 		for p := range s.insBuf {
 			s.insBuf[p] = getInstrBuf()
@@ -546,9 +554,9 @@ func (s *session) copyPhase(restore bool) {
 		}
 		ins = append(ins, cpu.Barrier(phaseBarrier))
 		s.insBuf[p] = ins
-		sources[p] = cpu.SliceSource(ins)
+		sources[p], s.bulkBuf[p] = cpu.SliceSourceBulk(ins)
 	}
-	s.sys.Run(s.procIDs, sources)
+	s.sys.Run(s.procIDs, sources, s.bulkBuf)
 }
 
 // lineSaved reports whether any element of the line starting at e was
@@ -648,7 +656,7 @@ func (s *session) mergePhase() {
 		}
 		ins = append(ins, cpu.Barrier(phaseBarrier))
 		s.insBuf[p] = ins
-		sources[p] = cpu.SliceSource(ins)
+		sources[p], s.bulkBuf[p] = cpu.SliceSourceBulk(ins)
 	}
-	s.sys.Run(s.procIDs, sources)
+	s.sys.Run(s.procIDs, sources, s.bulkBuf)
 }

@@ -11,9 +11,22 @@
 // hottest path (one event per simulated instruction), and the old
 // container/heap implementation paid two allocations per event for boxing
 // events into interface{} values.
+//
+// The heap is fronted by a two-level timing wheel for near-future events
+// (the overwhelmingly common Schedule(0..k) case): level 0 is one bucket
+// per cycle over a 256-cycle window, level 1 one bucket per 256-cycle
+// epoch over the next 16K cycles. Events beyond the wheel horizon — and
+// every event scheduled while an order policy is installed, whose rank
+// the wheel cannot represent — fall back to the heap. Popping compares
+// the wheel head against the heap top under the same (time, rank, seq)
+// key, so the merged queue executes in exactly the order the pure heap
+// would.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Time is a simulated clock value in processor cycles.
 type Time = int64
@@ -57,6 +70,27 @@ type event struct {
 	fn   func()
 }
 
+// wentry is a timing-wheel entry. Wheel events always carry rank 0 (the
+// wheel is bypassed whenever an order policy is installed), so only the
+// time and sequence number are needed to merge with the heap order.
+type wentry struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// Timing-wheel geometry: level 0 resolves single cycles across a 256-
+// cycle window; level 1 holds one bucket per 256-cycle epoch across the
+// next 64 epochs. Anything at or beyond l0base+wheelHorizon goes to the
+// heap.
+const (
+	l0Bits       = 8
+	l0Size       = 1 << l0Bits
+	l0Mask       = l0Size - 1
+	l1Size       = 64
+	wheelHorizon = l0Size * l1Size
+)
+
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
 	now   Time
@@ -71,6 +105,38 @@ type Engine struct {
 	pool []event
 	heap []int32
 	free []int32
+
+	// Two-level timing wheel. l0base is the 256-aligned start of the
+	// level-0 window; l0pos is a scan cursor (no occupied slot lies below
+	// it); l0head[i] indexes the next unpopped entry of bucket i, so
+	// popping is O(1) without sliding the slice. l0occ/l1occ are occupancy
+	// bitmaps — one bit per bucket — so finding the next non-empty bucket
+	// is a TrailingZeros64, not a linear scan (the wheel often holds a
+	// single in-flight event, and a scan from the window base to the
+	// event's slot on every peek dominated the engine's profile). wcount
+	// counts all wheel entries, l0count the level-0 subset. noWheel is
+	// latched when an order policy is installed (or by DisableWheel) and
+	// routes everything to the heap from then on.
+	noWheel bool
+	l0base  Time
+	l0pos   int
+	l0count int
+	wcount  int
+	l0occ   [l0Size / 64]uint64
+	l1occ   uint64
+	l0      [l0Size][]wentry
+	l0head  [l0Size]int
+	l1      [l1Size][]wentry
+
+	// Memoized head-of-queue decision shared by PeekTime and Step, so the
+	// execution fast path's peek and the following Step do one merged
+	// scan, not two. peekValid is cleared by every pop and by any insert
+	// that could change the winner (an earlier time, or — under an order
+	// policy — an equal time, since ranks can reorder same-cycle events).
+	peekValid bool
+	peekOK    bool
+	peekWheel bool // head is the wheel's (else the heap's)
+	peekT     Time
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -79,7 +145,61 @@ func NewEngine() *Engine { return &Engine{} }
 // SetOrderPolicy installs p as the same-cycle tie-break policy for events
 // scheduled from now on; nil restores FIFO order. Events already in the
 // queue keep the rank they were scheduled with.
-func (e *Engine) SetOrderPolicy(p OrderPolicy) { e.order = p }
+//
+// Ranks are a function of the schedule sequence number, which the wheel
+// buckets cannot order by, so installing a non-nil policy flushes any
+// wheel contents into the heap (where they keep their original
+// rank-0/seq keys) and latches the engine into pure-heap mode for the
+// rest of its lifetime. Engines are per-execution, and the interleaving
+// fuzzer installs its policy up front, so the latch costs nothing in
+// practice while keeping policy semantics exact.
+func (e *Engine) SetOrderPolicy(p OrderPolicy) {
+	e.order = p
+	if p != nil {
+		e.DisableWheel()
+	}
+}
+
+// DisableWheel permanently routes this engine's events through the pure
+// binary heap, flushing any buckets it already holds. Execution order is
+// unchanged — the wheel is an ordering-transparent accelerator — so this
+// exists for order policies (above) and as the reference configuration
+// for differential engine tests.
+func (e *Engine) DisableWheel() {
+	if e.noWheel {
+		return
+	}
+	e.noWheel = true
+	e.peekValid = false
+	if e.wcount == 0 {
+		return
+	}
+	flush := func(b []wentry, from int) {
+		for i := from; i < len(b); i++ {
+			e.heapPush(b[i].at, 0, b[i].seq, b[i].fn)
+		}
+	}
+	for i := 0; i < l0Size; i++ {
+		flush(e.l0[i], e.l0head[i])
+		clear(e.l0[i])
+		e.l0[i] = e.l0[i][:0]
+		e.l0head[i] = 0
+	}
+	for i := 0; i < l1Size; i++ {
+		flush(e.l1[i], 0)
+		clear(e.l1[i])
+		e.l1[i] = e.l1[i][:0]
+	}
+	e.l0occ, e.l1occ = [l0Size / 64]uint64{}, 0
+	e.l0count, e.wcount, e.l0pos = 0, 0, 0
+}
+
+// OrderPolicyActive reports whether a non-nil same-cycle order policy is
+// installed. The execution fast path must collapse to per-instruction
+// stepping under a policy: fused runs consume fewer sequence numbers
+// than stepped ones, which is invisible under FIFO tie-break but would
+// change the ranks a policy assigns to later events.
+func (e *Engine) OrderPolicyActive() bool { return e.order != nil }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -88,7 +208,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) EventsRun() uint64 { return e.nRun }
 
 // Pending reports how many events are waiting to run.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return len(e.heap) + e.wcount }
 
 // FreeSlots reports how many recycled event slots are available for reuse
 // (for allocation tests).
@@ -108,11 +228,59 @@ func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
+	// Keep the memoized head only when the new event provably loses to it:
+	// a later time always loses; an equal time loses under FIFO (higher
+	// seq) but not necessarily under an order policy (lower rank wins).
+	if e.peekValid && (!e.peekOK || t < e.peekT || (e.order != nil && t == e.peekT)) {
+		e.peekValid = false
+	}
 	e.seq++
+	if !e.noWheel {
+		if e.wcount == 0 {
+			// Empty wheel: re-anchor the window at the current time so
+			// long heap-only stretches can't strand the horizon behind
+			// the clock.
+			e.l0base = e.now &^ l0Mask
+			e.l0pos = 0
+		}
+		// A negative offset is possible: cascading advances l0base to
+		// the earliest wheel entry's window, which may be ahead of the
+		// clock. Events scheduled into that gap take the heap, which is
+		// always correct. The bucket insert is written out inline here —
+		// one event per simulated instruction makes this the hottest
+		// store in the simulator, and the helper call showed up in
+		// profiles.
+		if d := t - e.l0base; 0 <= d && d < wheelHorizon {
+			if t>>l0Bits == e.l0base>>l0Bits {
+				i := int(t & l0Mask)
+				e.l0[i] = append(e.l0[i], wentry{at: t, seq: e.seq, fn: fn})
+				e.l0occ[i>>6] |= 1 << uint(i&63)
+				if i < e.l0pos {
+					e.l0pos = i
+				}
+				e.l0count++
+			} else {
+				// One level-1 bucket per 256-cycle epoch; within the
+				// horizon at most one future epoch maps to each bucket, so
+				// a bucket never mixes epochs and cascading moves it
+				// wholesale.
+				j := int((t >> l0Bits) % l1Size)
+				e.l1[j] = append(e.l1[j], wentry{at: t, seq: e.seq, fn: fn})
+				e.l1occ |= 1 << uint(j)
+			}
+			e.wcount++
+			return
+		}
+	}
 	var rank uint64
 	if e.order != nil {
 		rank = e.order(e.seq)
 	}
+	e.heapPush(t, rank, e.seq, fn)
+}
+
+// heapPush inserts an event with an explicit key into the binary heap.
+func (e *Engine) heapPush(t Time, rank, seq uint64, fn func()) {
 	var slot int32
 	if n := len(e.free); n > 0 {
 		slot = e.free[n-1]
@@ -121,9 +289,39 @@ func (e *Engine) At(t Time, fn func()) {
 		e.pool = append(e.pool, event{})
 		slot = int32(len(e.pool) - 1)
 	}
-	e.pool[slot] = event{at: t, rank: rank, seq: e.seq, fn: fn}
+	e.pool[slot] = event{at: t, rank: rank, seq: seq, fn: fn}
 	e.heap = append(e.heap, slot)
 	e.siftUp(len(e.heap) - 1)
+}
+
+// wheelCascade advances the exhausted level-0 window to the next
+// non-empty level-1 epoch and spills its bucket into level 0. Within the
+// horizon each bucket holds exactly one epoch and epochs wrap the bucket
+// ring exactly once, so circular bit order from the next epoch's bucket
+// IS increasing epoch order. Buckets are FIFO in schedule order and seq
+// is monotonic, so an in-order copy preserves the (at, seq) pop order.
+// The caller guarantees wcount > 0; the loop runs until level 0 holds an
+// entry.
+func (e *Engine) wheelCascade() {
+	for e.l0count == 0 {
+		epoch := e.l0base >> l0Bits
+		start := uint((epoch + 1) % l1Size)
+		k := bits.TrailingZeros64(bits.RotateLeft64(e.l1occ, -int(start)))
+		epoch += 1 + Time(k)
+		e.l0base = epoch << l0Bits
+		e.l0pos = 0
+		j := int(epoch % l1Size)
+		b := e.l1[j]
+		for _, w := range b {
+			i := int(w.at & l0Mask)
+			e.l0[i] = append(e.l0[i], w)
+			e.l0occ[i>>6] |= 1 << uint(i&63)
+		}
+		e.l0count += len(b)
+		clear(b)
+		e.l1[j] = b[:0]
+		e.l1occ &^= 1 << uint(j)
+	}
 }
 
 // less orders heap positions i and j by (at, rank, seq).
@@ -175,10 +373,77 @@ func (e *Engine) release(slot int32) {
 	e.free = append(e.free, slot)
 }
 
+// scanHead merges the two queues under the common (at, rank, seq) key;
+// wheel entries always have rank 0, and sequence numbers are unique, so
+// the comparison never ties. The winner is memoized (see peekValid); when
+// it is the wheel's head, the cursor e.l0pos is left on its bucket, and
+// the invalidation rules guarantee the cursor stays there until the pop.
+// The wheel peek is written out inline (cascade excepted): this runs once
+// per event and the helper-call version showed up in profiles.
+func (e *Engine) scanHead() {
+	e.peekValid = true
+	var we *wentry
+	if e.wcount > 0 {
+		if e.l0count == 0 {
+			e.wheelCascade()
+		}
+		// Next occupied slot at or above the cursor (one exists:
+		// l0count > 0 and nothing occupied sits below the cursor).
+		i := e.l0pos
+		word := e.l0occ[i>>6] >> uint(i&63) << uint(i&63)
+		for w := i >> 6; word == 0; {
+			w++
+			word = e.l0occ[w]
+			i = w << 6
+		}
+		i = i&^63 + bits.TrailingZeros64(word)
+		e.l0pos = i
+		we = &e.l0[i][e.l0head[i]]
+	}
+	if len(e.heap) == 0 {
+		e.peekOK, e.peekWheel = we != nil, we != nil
+		if we != nil {
+			e.peekT = we.at
+		}
+		return
+	}
+	e.peekOK = true
+	h := &e.pool[e.heap[0]]
+	if we == nil || h.at < we.at || (h.at == we.at && h.rank == 0 && h.seq < we.seq) {
+		e.peekWheel, e.peekT = false, h.at
+	} else {
+		e.peekWheel, e.peekT = true, we.at
+	}
+}
+
 // Step executes the next event, if any, and reports whether one ran.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	if !e.peekValid {
+		e.scanHead()
+	}
+	if !e.peekOK {
 		return false
+	}
+	e.peekValid = false
+	if e.peekWheel {
+		// Pop the entry scanHead found (cursor still on its bucket).
+		i := e.l0pos
+		h := e.l0head[i]
+		w := e.l0[i][h]
+		e.l0[i][h] = wentry{} // drop the closure reference
+		if h+1 == len(e.l0[i]) {
+			e.l0[i] = e.l0[i][:0]
+			e.l0head[i] = 0
+			e.l0occ[i>>6] &^= 1 << uint(i&63)
+		} else {
+			e.l0head[i] = h + 1
+		}
+		e.l0count--
+		e.wcount--
+		e.now = w.at
+		e.nRun++
+		w.fn()
+		return true
 	}
 	slot := e.heap[0]
 	last := len(e.heap) - 1
@@ -196,6 +461,16 @@ func (e *Engine) Step() bool {
 	return true
 }
 
+// PeekTime reports the time of the earliest pending event, if any,
+// without running it. The execution fast path uses it to bound how far a
+// processor may run ahead without yielding to the event queue.
+func (e *Engine) PeekTime() (Time, bool) {
+	if !e.peekValid {
+		e.scanHead()
+	}
+	return e.peekT, e.peekOK
+}
+
 // Run executes events until the queue is empty.
 func (e *Engine) Run() {
 	for e.Step() {
@@ -204,7 +479,11 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with time <= t, then advances the clock to t.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.heap) > 0 && e.pool[e.heap[0]].at <= t {
+	for {
+		at, ok := e.PeekTime()
+		if !ok || at > t {
+			break
+		}
 		e.Step()
 	}
 	if e.now < t {
@@ -215,8 +494,22 @@ func (e *Engine) RunUntil(t Time) {
 // Drain removes all pending events without running them. Used when a
 // speculative execution is aborted.
 func (e *Engine) Drain() {
+	e.peekValid = false
 	for _, slot := range e.heap {
 		e.release(slot)
 	}
 	e.heap = e.heap[:0]
+	if e.wcount > 0 {
+		for i := 0; i < l0Size; i++ {
+			clear(e.l0[i])
+			e.l0[i] = e.l0[i][:0]
+			e.l0head[i] = 0
+		}
+		for i := 0; i < l1Size; i++ {
+			clear(e.l1[i])
+			e.l1[i] = e.l1[i][:0]
+		}
+		e.l0occ, e.l1occ = [l0Size / 64]uint64{}, 0
+		e.l0count, e.wcount, e.l0pos = 0, 0, 0
+	}
 }
