@@ -1,0 +1,360 @@
+package cpu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"specrt/internal/core"
+	"specrt/internal/machine"
+	"specrt/internal/mem"
+	"specrt/internal/sim"
+)
+
+// Same-cycle pure cohorts: when several processor steps are due at
+// exactly the same cycle T and begin with classified-pure instructions,
+// those steps commute — a pure access touches only its own processor's
+// caches, tag bits and per-(processor, element) metadata slots, plus
+// counters that are sums. The executor exploits this on the longest
+// pure prefix of the T-steps in sequence order: each prefix member
+// executes exactly one instruction (in the engine-only schedule each of
+// them sees the next T-step as its horizon, so its fast path bails to a
+// single stepped instruction), and the first non-pure member — or the
+// final T-step, whose horizon extends past T and may fuse a batch — is
+// left queued for the merge loop's normal dispatch.
+//
+// Two implementations, byte-identical results:
+//
+//   - inline (single-core hosts): one pass per member that classifies
+//     AND performs through the TryRead/TryWrite entry points, counts
+//     directly, and re-queues the next step immediately — the same
+//     order, operations and counter updates the engine-only schedule
+//     produces, without the stepped path's dispatch overhead.
+//
+//   - spawn (multi-core hosts, and the race-detector suite via
+//     WinSpawn): classify the prefix first, then execute it grouped by
+//     shard on goroutines, with the shared counters diverted to
+//     per-shard cells and folded back in shard order afterwards.
+//
+// Classification is read-only over the member's own state, and pure
+// ops of other members cannot change it (they touch only their own
+// processor's state), so outcomes are stable across the prefix. A
+// member that would need to pull from its instruction source — whose
+// generator may touch shared scheduling state such as the dynamic
+// iteration dispenser — ends the prefix.
+
+// cohortRounds counts cohort rounds process-wide, so tests that force
+// the parallel path can assert it actually ran instead of passing
+// vacuously on a host where cohorts never form.
+var cohortRounds atomic.Uint64
+
+// CohortRounds returns the number of cohort rounds executed since
+// process start.
+func CohortRounds() uint64 { return cohortRounds.Load() }
+
+// cohortPool holds the reusable scratch state for cohort rounds of one
+// windowed Run.
+type cohortPool struct {
+	sys     *System
+	spawn   bool       // run shard groups on goroutines (multi-core host)
+	members []sentry   // current spawn-round prefix, ascending seq
+	groups  [][]int    // member indices per shard
+	ends    []sim.Time // per-member completion time, filled concurrently
+	mcells  []machine.ParCell
+	ccells  []core.ParCell
+}
+
+func newCohortPool(s *System, w *winExec, k int) *cohortPool {
+	c := &cohortPool{
+		sys:    s,
+		spawn:  s.WinSpawn || runtime.GOMAXPROCS(0) > 1,
+		groups: make([][]int, k),
+		mcells: make([]machine.ParCell, k),
+	}
+	s.M.SetParCells(w.shardOf, c.mcells)
+	if s.Ctl != nil {
+		c.ccells = make([]core.ParCell, k)
+		s.Ctl.SetParCells(w.shardOf, c.ccells)
+	}
+	return c
+}
+
+// release deregisters the diversion cells at the end of a windowed Run.
+func (c *cohortPool) release() {
+	c.sys.M.SetParCells(nil, nil)
+	if c.sys.Ctl != nil {
+		c.sys.Ctl.SetParCells(nil, nil)
+	}
+}
+
+// peekInstr returns p's next instruction without consuming it, but only
+// from the pushback buffer or the bulk queue — the places take() can
+// read without running generator code.
+func peekInstr(p *Proc) (Instr, bool) {
+	if p.hasPending {
+		return p.pending, true
+	}
+	if p.qh < len(p.q) {
+		return p.q[p.qh], true
+	}
+	return Instr{}, false
+}
+
+// consumeInstr consumes the instruction peekInstr returned.
+func consumeInstr(p *Proc) Instr {
+	if p.hasPending {
+		p.hasPending = false
+		return p.pending
+	}
+	in := p.q[p.qh]
+	p.qh++
+	return in
+}
+
+// nextDue finds the step due at T with the lowest sequence stamp across
+// the shard queues, and whether at least one more T-step remains behind
+// it (in another shard, or deeper in its own heap — T-entries form a
+// subtree at the root, so checking the root's children suffices).
+func (w *winExec) nextDue(T sim.Time) (shard int, more bool) {
+	shard = -1
+	var bseq uint64
+	for i := range w.qs {
+		q := w.qs[i]
+		if len(q) == 0 || q[0].at != T {
+			continue
+		}
+		switch {
+		case shard < 0:
+			shard, bseq = i, q[0].seq
+		case q[0].seq < bseq:
+			shard, bseq, more = i, q[0].seq, true
+		default:
+			more = true
+		}
+	}
+	if shard >= 0 && !more {
+		q := w.qs[shard]
+		more = (len(q) > 1 && q[1].at == T) || (len(q) > 2 && q[2].at == T)
+	}
+	return shard, more
+}
+
+// tryCohort advances the longest classified-pure sequence-order prefix
+// of the steps due at cycle T, one instruction per member, and reports
+// whether it advanced anything (the merge loop then rescans). The first
+// non-pure member and the final T-step are left queued for normal
+// dispatch. eok/et describe the engine's head.
+func (c *cohortPool) tryCohort(w *winExec, T sim.Time, eok bool, et sim.Time) bool {
+	// An engine event due at T could order between cohort members, so
+	// the round only forms when the engine's head is strictly later.
+	if eok && et == T {
+		return false
+	}
+	if c.spawn {
+		return c.spawnRound(w, T)
+	}
+	return c.inlineRound(w, T)
+}
+
+// inlineRound is the single-core implementation: classify-and-perform
+// each prefix member in one pass through the TryRead/TryWrite entry
+// points, which record exactly the statistics the stepped path would,
+// then re-queue its next step — drawing the same sequence stamp the
+// stepped path's Schedule call would have drawn, in the same order.
+func (c *cohortPool) inlineRound(w *winExec, T sim.Time) bool {
+	s := c.sys
+	eng := s.M.Eng
+	// A step due at T exists (the merge loop saw a tie) and the engine
+	// head is strictly later, so the clock may move to T up front.
+	eng.AdvanceTo(T)
+	performed := 0
+collect:
+	for {
+		shard, more := w.nextDue(T)
+		if shard < 0 || !more {
+			// No T-step, or only the final one: the normal path
+			// dispatches it (its fuse horizon extends past T).
+			break
+		}
+		q := &w.qs[shard]
+		p := s.Procs[(*q)[0].pid]
+		if p.Done || p.blocked || s.aborted {
+			break
+		}
+		in, ok := peekInstr(p)
+		if !ok {
+			break
+		}
+		var lat sim.Time
+		switch in.Kind {
+		case KCompute:
+			lat = in.Cycles
+			p.B.Busy += in.Cycles
+		case KLoad:
+			l, ok := s.tryRead(p.ID, in.Addr)
+			if !ok {
+				break collect
+			}
+			lat = l
+			s.accountMem(p, l)
+		case KStore:
+			l, ok := s.tryWrite(p.ID, in.Addr)
+			if !ok {
+				break collect
+			}
+			lat = l
+			s.accountMem(p, l)
+		default:
+			break collect
+		}
+		consumeInstr(p)
+		p.Instrs[in.Kind]++
+		// The dispatched step and its successor live in the same shard
+		// queue, so the pop+push pair collapses to a root replacement.
+		q.replaceTop(sentry{at: T + lat, seq: eng.AllocSeq(), pid: (*q)[0].pid})
+		performed++
+	}
+	if performed > 0 {
+		eng.CountRuns(performed)
+		cohortRounds.Add(1)
+		return true
+	}
+	return false
+}
+
+// spawnRound is the multi-core implementation: collect the pure prefix
+// read-only, execute it grouped by shard on goroutines with the shared
+// counters diverted to per-shard cells, fold the cells back in shard
+// order, then re-queue next steps in sequence order.
+func (c *cohortPool) spawnRound(w *winExec, T sim.Time) bool {
+	s := c.sys
+	members := c.members[:0]
+	for {
+		shard, more := w.nextDue(T)
+		if shard < 0 || !more {
+			break
+		}
+		p := s.Procs[w.qs[shard][0].pid]
+		if p.Done || p.blocked || s.aborted {
+			break
+		}
+		in, ok := peekInstr(p)
+		if !ok {
+			break
+		}
+		pure := false
+		switch in.Kind {
+		case KCompute:
+			pure = true
+		case KLoad:
+			_, pure = s.classifyRead(p.ID, in.Addr)
+		case KStore:
+			_, pure = s.classifyWrite(p.ID, in.Addr)
+		}
+		if !pure {
+			break
+		}
+		members = append(members, w.qs[shard].pop())
+	}
+	c.members = members
+	n := len(members)
+	if n == 0 {
+		return false
+	}
+
+	for i := range c.groups {
+		c.groups[i] = c.groups[i][:0]
+	}
+	for i := 0; i < n; i++ {
+		sh := w.shardOf[members[i].pid]
+		c.groups[sh] = append(c.groups[sh], i)
+	}
+	if cap(c.ends) < n {
+		c.ends = make([]sim.Time, n)
+	}
+	ends := c.ends[:n]
+
+	cohortRounds.Add(1)
+	s.M.ParOn(true)
+	if s.Ctl != nil {
+		s.Ctl.ParOn(true)
+	}
+	var wg sync.WaitGroup
+	for sh := range c.groups {
+		g := c.groups[sh]
+		if len(g) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(g []int) {
+			defer wg.Done()
+			for _, i := range g {
+				ends[i] = s.execPure(s.Procs[members[i].pid], T)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.M.ParOn(false)
+	if s.Ctl != nil {
+		s.Ctl.ParOn(false)
+		s.Ctl.FoldParCells()
+	}
+	s.M.FoldParCells()
+
+	// Re-queue in sequence order — the order the engine-only schedule
+	// would have allocated the next-step stamps.
+	eng := s.M.Eng
+	eng.AdvanceTo(T)
+	for i := 0; i < n; i++ {
+		eng.CountRun()
+		w.push(s.Procs[members[i].pid], ends[i])
+	}
+	return true
+}
+
+// execPure consumes and executes one classified-pure instruction for p
+// at cycle T, returning the completion time. The accounting matches the
+// stepped path's arms cycle for cycle; the access itself goes through
+// the classify-and-perform entry points, which record exactly the
+// statistics the stepped path would.
+func (s *System) execPure(p *Proc, T sim.Time) sim.Time {
+	in := consumeInstr(p)
+	p.Instrs[in.Kind]++
+	switch in.Kind {
+	case KCompute:
+		p.B.Busy += in.Cycles
+		return T + in.Cycles
+	case KLoad:
+		lat, ok := s.tryRead(p.ID, in.Addr)
+		if !ok {
+			panic(fmt.Sprintf("cpu: cohort read of %#x went slow after classifying pure", in.Addr))
+		}
+		s.accountMem(p, lat)
+		return T + lat
+	case KStore:
+		lat, ok := s.tryWrite(p.ID, in.Addr)
+		if !ok {
+			panic(fmt.Sprintf("cpu: cohort write of %#x went slow after classifying pure", in.Addr))
+		}
+		s.accountMem(p, lat)
+		return T + lat
+	}
+	panic("cpu: non-pure instruction in cohort round")
+}
+
+// classifyRead/classifyWrite are the read-only purity probes,
+// dispatching to the armed controller or the plain machine.
+func (s *System) classifyRead(p int, a mem.Addr) (sim.Time, bool) {
+	if s.Ctl != nil {
+		return s.Ctl.ClassifyRead(p, a)
+	}
+	return s.M.ClassifyRead(p, a)
+}
+
+func (s *System) classifyWrite(p int, a mem.Addr) (sim.Time, bool) {
+	if s.Ctl != nil {
+		return s.Ctl.ClassifyWrite(p, a)
+	}
+	return s.M.ClassifyWrite(p, a)
+}

@@ -1,0 +1,249 @@
+package cpu
+
+import (
+	"specrt/internal/sim"
+)
+
+// Sharded windowed execution: Shards > 1 partitions the processors into
+// contiguous shards, each with its own pending-step queue outside the
+// event engine. The executor advances the simulation by merging the
+// shard queues against the engine's event queue under the exact
+// (time, seq) key a single queue would have used: every processor step
+// is stamped with a sequence number drawn from the engine's shared
+// counter at the moment it would have been scheduled, so the merged
+// dispatch order — and therefore every protocol interaction, every
+// statistic, and the final clock — is byte-identical to the engine-only
+// path at any shard count.
+//
+// The conservative window is the gap between the current dispatch and
+// the earliest other pending step or engine event. Because a fetch
+// transaction invalidates other processors' copies synchronously at the
+// requester's access time (see machine.FetchWrite), a shard may never
+// run past another shard's pending step: the window closes at every
+// cross-shard step boundary, and only classified-pure runs (the fused
+// fast path) advance freely inside it. What sharding buys on one core
+// is a dispatch loop specialized for processor steps — no closure
+// scheduling, no timing-wheel insert, no memoized head scan — and on
+// multi-core hosts, same-cycle cohorts of classified-pure steps that
+// advance their shards concurrently (see cohort.go).
+
+// sentry is one pending processor step: processor pid's next
+// instruction is due at `at`; seq is the engine-wide sequence stamp
+// that fixes its order among same-cycle steps and events. Pointer-free
+// on purpose: the shard heaps churn on every dispatch, and entries
+// without pointers cost no write barriers to sift and nothing to scan.
+type sentry struct {
+	at  sim.Time
+	seq uint64
+	pid int32
+}
+
+// shardQ is a binary min-heap of pending steps ordered by (at, seq).
+// Entries are small and stored inline; a shard holds at most its own
+// processors, so operations stay in cache.
+type shardQ []sentry
+
+func (q *shardQ) push(e sentry) {
+	h := *q
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	*q = h
+}
+
+func (q *shardQ) pop() sentry {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = sentry{}
+	h = h[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		min := l
+		if r := l + 1; r < last && h[r].before(h[l]) {
+			min = r
+		}
+		if !h[min].before(h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	*q = h
+	return top
+}
+
+// replaceTop swaps the heap's minimum for e and restores heap order
+// with a single sift-down — half the work of a pop followed by a push,
+// for the cohort round's pattern of re-queueing the processor it just
+// dispatched.
+func (q *shardQ) replaceTop(e sentry) {
+	h := *q
+	h[0] = e
+	n := len(h)
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && h[r].before(h[l]) {
+			min = r
+		}
+		if !h[min].before(h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+func (e sentry) before(o sentry) bool {
+	return e.at < o.at || (e.at == o.at && e.seq < o.seq)
+}
+
+// winExec is the per-Run state of the sharded executor. It exists only
+// while a windowed Run is in progress; System.win points at it so the
+// scheduling indirections (schedStep/schedStepAt) and the fast path's
+// horizon rule can see the shard queues.
+type winExec struct {
+	sys     *System
+	qs      []shardQ
+	shardOf []int16 // processor -> shard index
+
+	// limit/bounded is the fuse horizon for the step being dispatched:
+	// the earliest pending step or engine event other than it. Computed
+	// by the merge loop before each dispatch.
+	limit   sim.Time
+	bounded bool
+
+	par *cohortPool // non-nil when same-cycle cohorts may run concurrently
+}
+
+// newWin builds the executor for this Run. Shards is clamped to the
+// processor count; processors map to shards in contiguous blocks, so a
+// shard's working set (caches, bit tables) is a contiguous slice of the
+// machine's arrays.
+func (s *System) newWin() *winExec {
+	k := s.Shards
+	n := len(s.Procs)
+	if k > n {
+		k = n
+	}
+	w := &winExec{
+		sys:     s,
+		qs:      make([]shardQ, k),
+		shardOf: make([]int16, n),
+	}
+	for p := 0; p < n; p++ {
+		w.shardOf[p] = int16(p * k / n)
+	}
+	if s.WinParallel {
+		w.par = newCohortPool(s, w, k)
+	}
+	return w
+}
+
+// push queues processor p's next step at time `at`, stamping it from
+// the engine's shared sequence counter — exactly the stamp an
+// eng.At(at, p.stepFn) would have consumed.
+func (w *winExec) push(p *Proc, at sim.Time) {
+	w.qs[w.shardOf[p.ID]].push(sentry{at: at, seq: w.sys.M.Eng.AllocSeq(), pid: int32(p.ID)})
+}
+
+// drain drops all pending steps (speculative abort).
+func (w *winExec) drain() {
+	for i := range w.qs {
+		q := w.qs[i]
+		for j := range q {
+			q[j] = sentry{}
+		}
+		w.qs[i] = q[:0]
+	}
+}
+
+// loop drives the merged simulation to completion: the earliest of
+// {shard queue heads, engine head} dispatches next, exactly as a single
+// event queue would order them. Engine events (protocol messages, home
+// visits) run through eng.Step; processor steps dispatch inline.
+//
+// One scan of the shard heads yields both the dispatch choice and the
+// ingredients of the fuse horizon: the earliest entry (shard, at, seq)
+// and the earliest time among the OTHER shards. After the pop, the
+// horizon is the min of that other-shard time, the popped shard's new
+// head, and the engine head — the same value a post-pop rescan would
+// produce, without rescanning.
+func (w *winExec) loop() {
+	s := w.sys
+	eng := s.M.Eng
+	for {
+		shard := -1
+		var at, oat sim.Time
+		var seq uint64
+		oOK := false
+		for i := range w.qs {
+			if len(w.qs[i]) == 0 {
+				continue
+			}
+			h := &w.qs[i][0]
+			if shard < 0 {
+				shard, at, seq = i, h.at, h.seq
+				continue
+			}
+			if h.at < at || (h.at == at && h.seq < seq) {
+				if !oOK || at < oat {
+					oat, oOK = at, true
+				}
+				shard, at, seq = i, h.at, h.seq
+			} else if !oOK || h.at < oat {
+				oat, oOK = h.at, true
+			}
+		}
+		et, eseq, eok := eng.PeekTimeSeq()
+		if shard < 0 {
+			if !eok {
+				return
+			}
+			eng.Step()
+			continue
+		}
+		if eok && (et < at || (et == at && eseq < seq)) {
+			eng.Step()
+			continue
+		}
+		// A cohort needs a same-cycle tie across shards; oat carries
+		// that for free, so the common untied dispatch skips the
+		// cohort machinery entirely.
+		if w.par != nil && oOK && oat == at && w.par.tryCohort(w, at, eok, et) {
+			continue
+		}
+		q := &w.qs[shard]
+		e := q.pop()
+		lim, lb := oat, oOK
+		if len(*q) > 0 {
+			if h := (*q)[0].at; !lb || h < lim {
+				lim, lb = h, true
+			}
+		}
+		if eok && (!lb || et < lim) {
+			lim, lb = et, true
+		}
+		w.limit, w.bounded = lim, lb
+		eng.AdvanceTo(at)
+		eng.CountRun()
+		s.step(s.Procs[e.pid])
+	}
+}

@@ -38,19 +38,19 @@ func (m *Machine) PromoteIsLocal(p int, a mem.Addr) bool {
 func (m *Machine) TryFastRead(p int, a mem.Addr) (sim.Time, bool) {
 	pr := m.Procs[p]
 	if fr := pr.L1.Lookup(a); fr != nil {
-		m.Stats.Reads++
+		m.countRead(p)
 		pr.L1.Stats.Hits++
-		m.Stats.L1Hits++
+		m.countL1Hit(p)
 		return m.Cfg.Lat.L1Hit, true
 	}
 	fr := pr.L2.Lookup(a)
 	if fr == nil || !m.PromoteIsLocal(p, a) {
 		return 0, false
 	}
-	m.Stats.Reads++
+	m.countRead(p)
 	pr.L1.Stats.Misses++
 	pr.L2.Stats.Hits++
-	m.Stats.L2Hits++
+	m.countL2Hit(p)
 	m.installL1(p, fr.Tag, fr.State, fr.Bits)
 	return m.Cfg.Lat.L2Hit, true
 }
@@ -65,19 +65,19 @@ func (m *Machine) TryFastWrite(p int, a mem.Addr) (sim.Time, bool) {
 		if fr.State != cache.Dirty {
 			return 0, false // clean hit: upgrade at the home
 		}
-		m.Stats.Writes++
+		m.countWrite(p)
 		pr.L1.Stats.Hits++
-		m.Stats.L1Hits++
+		m.countL1Hit(p)
 		return m.Cfg.Lat.L1Hit, true
 	}
 	fr := pr.L2.Lookup(a)
 	if fr == nil || fr.State != cache.Dirty || !m.PromoteIsLocal(p, a) {
 		return 0, false
 	}
-	m.Stats.Writes++
+	m.countWrite(p)
 	pr.L1.Stats.Misses++
 	pr.L2.Stats.Hits++
-	m.Stats.L2Hits++
+	m.countL2Hit(p)
 	m.installL1(p, fr.Tag, fr.State, fr.Bits)
 	return m.Cfg.Lat.L1Hit, true
 }

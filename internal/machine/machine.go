@@ -189,6 +189,78 @@ type Stats struct {
 	Messages      uint64 // deferred protocol messages (bit updates)
 }
 
+// ParCell is one shard's accumulator for the counters the classified-
+// pure access paths increment (Reads, Writes, L1Hits, L2Hits). When a
+// same-cycle cohort of pure accesses executes concurrently (see
+// internal/cpu's sharded executor), each shard's goroutine increments
+// its own cell instead of the shared Stats; the cells are folded back
+// in shard order afterwards. Sums commute, so the fold is byte-
+// identical to serial counting. The pad keeps cells written by
+// different goroutines off a shared cache line.
+type ParCell struct {
+	Reads, Writes, L1Hits, L2Hits uint64
+	_                             [4]uint64
+}
+
+// SetParCells registers the per-shard diversion cells and the
+// processor-to-shard map for concurrent pure cohorts. Passing nils
+// deregisters them. Diversion only happens while ParOn(true) is set.
+func (m *Machine) SetParCells(shardOf []int16, cells []ParCell) {
+	m.parShard, m.parCells = shardOf, cells
+}
+
+// ParOn toggles diversion of the pure-path counters into the registered
+// shard cells. Must only be flipped between accesses (never mid-access).
+func (m *Machine) ParOn(on bool) { m.parOn = on }
+
+// FoldParCells adds the shard cells into Stats in shard order and
+// clears them.
+func (m *Machine) FoldParCells() {
+	for i := range m.parCells {
+		c := &m.parCells[i]
+		m.Stats.Reads += c.Reads
+		m.Stats.Writes += c.Writes
+		m.Stats.L1Hits += c.L1Hits
+		m.Stats.L2Hits += c.L2Hits
+		*c = ParCell{}
+	}
+}
+
+// countRead and friends route one pure-path counter increment either to
+// the shared Stats (the normal, single-threaded case) or to the current
+// processor's shard cell during a concurrent cohort.
+func (m *Machine) countRead(p int) {
+	if m.parOn {
+		m.parCells[m.parShard[p]].Reads++
+	} else {
+		m.Stats.Reads++
+	}
+}
+
+func (m *Machine) countWrite(p int) {
+	if m.parOn {
+		m.parCells[m.parShard[p]].Writes++
+	} else {
+		m.Stats.Writes++
+	}
+}
+
+func (m *Machine) countL1Hit(p int) {
+	if m.parOn {
+		m.parCells[m.parShard[p]].L1Hits++
+	} else {
+		m.Stats.L1Hits++
+	}
+}
+
+func (m *Machine) countL2Hit(p int) {
+	if m.parOn {
+		m.parCells[m.parShard[p]].L2Hits++
+	} else {
+		m.Stats.L2Hits++
+	}
+}
+
 // Add folds another machine's counters into s (adaptive executions
 // aggregate one machine per strategy).
 func (s *Stats) Add(o Stats) {
@@ -223,6 +295,13 @@ type Machine struct {
 	// mutating it mid-run is not supported.
 	Net interconnect.Network
 
+	// Concurrent-cohort counter diversion (see ParCell): while parOn,
+	// pure-path counter increments go to parCells[parShard[p]] instead
+	// of Stats.
+	parOn    bool
+	parShard []int16
+	parCells []ParCell
+
 	// OnDirtyWriteback, if set, receives the access bits of every dirty
 	// line that reaches its home (forced writebacks and evictions), so
 	// the speculation layer can merge tag state into its directory
@@ -253,16 +332,27 @@ type Machine struct {
 
 	lineBytes mem.Addr
 
-	// msgq holds in-flight deferred messages per (source, home) pair,
-	// indexed source*Procs+home. The paper's algorithms assume in-order
-	// delivery of messages; a processor's synchronous transaction to a
-	// home therefore drains its own earlier messages to that home first
-	// (see SendToHome).
-	msgq [][]*pendingMsg
+	// msgq holds in-flight deferred messages per (source, home) pair.
+	// The paper's algorithms assume in-order delivery of messages; a
+	// processor's synchronous transaction to a home therefore drains its
+	// own earlier messages to that home first (see SendToHome).
+	//
+	// Rows are allocated lazily on a source's first deferred send: only
+	// the speculation protocols send deferred messages, so most
+	// processors of a wide machine never materialize a row, and the flat
+	// Procs² slot array this replaces (24 MB of slice headers at 1024
+	// processors, re-walked on every reset) is never paid. activeQ
+	// remembers each queue that turned non-empty since the last reset,
+	// so ResetMessages touches only queues that carried traffic.
+	msgq    [][][]*pendingMsg
+	activeQ []qref
 	// msgPool recycles message slots; gen guards stale arrival events
 	// against recycled slots.
 	msgPool []*pendingMsg
 }
+
+// qref names one (source, home) message queue in activeQ.
+type qref struct{ from, home int32 }
 
 // pendingMsg is one in-flight deferred protocol message. gen increments on
 // every recycle so that an arrival event scheduled for a previous use of
@@ -303,8 +393,17 @@ func (m *Machine) putMsg(msg *pendingMsg) {
 	m.msgPool = append(m.msgPool, msg)
 }
 
-// qIndex maps a (source, home) pair to its message-queue slot.
-func (m *Machine) qIndex(from, home int) int { return from*m.Cfg.Procs + home }
+// queueFor returns the (from, home) message queue, materializing the
+// source's row on its first deferred send. The returned pointer stays
+// valid for the machine's lifetime (rows are never reallocated).
+func (m *Machine) queueFor(from, home int) *[]*pendingMsg {
+	row := m.msgq[from]
+	if row == nil {
+		row = make([][]*pendingMsg, m.Cfg.Procs)
+		m.msgq[from] = row
+	}
+	return &row[home]
+}
 
 // homeDepthRing bounds the per-home queue-depth ring (sim.Server
 // TrackDepth capacity). Depth counts saturate there; timing is unaffected.
@@ -331,7 +430,7 @@ func New(cfg Config) (*Machine, error) {
 		Net:       net,
 		DirTable:  directory.NewTable(cfg.L1.LineBytes, cfg.Procs, cfg.DirMode),
 		lineBytes: mem.Addr(cfg.L1.LineBytes),
-		msgq:      make([][]*pendingMsg, cfg.Procs*cfg.Procs),
+		msgq:      make([][][]*pendingMsg, cfg.Procs),
 	}
 	for i := 0; i < cfg.Procs; i++ {
 		m.Procs[i] = &Proc{ID: i, L1: cache.New(cfg.L1), L2: cache.New(cfg.L2)}
@@ -474,12 +573,14 @@ func (m *Machine) FlushCaches() {
 // speculative execution is aborted or between loop executions; any engine
 // events still scheduled for these messages become no-ops.
 func (m *Machine) ResetMessages() {
-	for i, q := range m.msgq {
-		for _, msg := range q {
+	for _, r := range m.activeQ {
+		qp := &m.msgq[r.from][r.home]
+		for _, msg := range *qp {
 			m.putMsg(msg)
 		}
-		m.msgq[i] = q[:0]
+		*qp = (*qp)[:0]
 	}
+	m.activeQ = m.activeQ[:0]
 }
 
 // ClearAllBits applies the general access-bit reset to every cache (§4.1,

@@ -15,11 +15,11 @@ import (
 func (m *Machine) Probe(p int, a mem.Addr) (*cache.Line, sim.Time, bool) {
 	pr := m.Procs[p]
 	if fr := pr.L1.Probe(a); fr != nil {
-		m.Stats.L1Hits++
+		m.countL1Hit(p)
 		return fr, m.Cfg.Lat.L1Hit, true
 	}
 	if fr := pr.L2.Probe(a); fr != nil {
-		m.Stats.L2Hits++
+		m.countL2Hit(p)
 		l1fr := m.installL1(p, fr.Tag, fr.State, fr.Bits)
 		return l1fr, m.Cfg.Lat.L2Hit, true
 	}
@@ -378,10 +378,13 @@ func callNoArg(x any) error { return x.(func() error)() }
 func (m *Machine) SendToHomeArg(from int, a mem.Addr, fn func(any) error, arg any) {
 	m.Stats.Messages++
 	h := m.HomeOf(a)
-	idx := m.qIndex(from, h)
+	q := m.queueFor(from, h)
 	msg := m.getMsg(from, m.LineAddr(a), fn, arg)
 	gen := msg.gen
-	m.msgq[idx] = append(m.msgq[idx], msg)
+	if len(*q) == 0 {
+		m.activeQ = append(m.activeQ, qref{int32(from), int32(h)})
+	}
+	*q = append(*q, msg)
 	m.Eng.Schedule(m.msgLatency(from, h), func() {
 		if msg.gen != gen || msg.done {
 			return // delivered early by a drain (slot may be recycled)
@@ -390,11 +393,11 @@ func (m *Machine) SendToHomeArg(from int, a mem.Addr, fn func(any) error, arg an
 		if wait > 0 {
 			m.Eng.Schedule(wait, func() {
 				if msg.gen == gen && !msg.done {
-					m.deliverThrough(idx, msg)
+					m.deliverThrough(q, msg)
 				}
 			})
 		} else {
-			m.deliverThrough(idx, msg)
+			m.deliverThrough(q, msg)
 		}
 	})
 }
@@ -403,10 +406,10 @@ func (m *Machine) SendToHomeArg(from int, a mem.Addr, fn func(any) error, arg an
 // to and including msg. The queue is re-read every iteration: a handler
 // may enqueue new messages for the same pair while we deliver, and those
 // must survive behind the current tail.
-func (m *Machine) deliverThrough(idx int, msg *pendingMsg) {
-	for len(m.msgq[idx]) > 0 {
-		head := m.msgq[idx][0]
-		m.msgq[idx] = m.msgq[idx][1:]
+func (m *Machine) deliverThrough(q *[]*pendingMsg, msg *pendingMsg) {
+	for len(*q) > 0 {
+		head := (*q)[0]
+		*q = (*q)[1:]
 		// Queued entries are always undelivered: every delivery path
 		// removes the message from its queue before retiring it.
 		last := head == msg
@@ -428,16 +431,16 @@ func (m *Machine) deliverThrough(idx int, msg *pendingMsg) {
 // so they cannot overtake the processor's own earlier messages. The
 // scheduled arrival events become stale no-ops (generation guard).
 func (m *Machine) DrainMessages(p, h int) {
-	idx := m.qIndex(p, h)
-	q := m.msgq[idx]
-	if len(q) == 0 {
+	row := m.msgq[p]
+	if row == nil || len(row[h]) == 0 {
 		return
 	}
+	q := row[h]
 	// Detach the batch before delivering: a handler may enqueue new
 	// messages for this pair, which must not alias the batch being
 	// iterated. The backing array is restored for reuse afterwards if
 	// nothing new arrived.
-	m.msgq[idx] = nil
+	row[h] = nil
 	for _, msg := range q {
 		// Queued entries are always undelivered (delivery always pops
 		// first), so each is retired exactly once here.
@@ -452,8 +455,8 @@ func (m *Machine) DrainMessages(p, h int) {
 		}
 		m.notify(TxHomeMsg, from, line)
 	}
-	if len(m.msgq[idx]) == 0 {
-		m.msgq[idx] = q[:0]
+	if len(row[h]) == 0 {
+		row[h] = q[:0]
 	}
 }
 

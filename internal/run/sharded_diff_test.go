@@ -1,0 +1,155 @@
+package run_test
+
+import (
+	"reflect"
+	"testing"
+
+	"specrt/internal/core"
+	"specrt/internal/cpu"
+	"specrt/internal/loops"
+	"specrt/internal/run"
+	"specrt/internal/sim"
+)
+
+// Sharded-vs-sequential differential: the windowed executor claims
+// byte-identity with the single-queue engine at any shard count, so
+// every reported number — cycles, breakdowns, failure counts, detection
+// times, verdicts, machine/core/net stats — must match exactly.
+
+// diffSharded executes w under cfg unsharded, then at Shards ∈ {1,2,4},
+// and requires all four Results to be deeply equal.
+func diffSharded(t *testing.T, w *run.Workload, cfg run.Config) *run.Result {
+	t.Helper()
+	cfg.Shards = 0
+	base := run.MustExecute(w, cfg)
+	for _, k := range []int{1, 2, 4} {
+		if k > cfg.Procs {
+			continue
+		}
+		cfg.Shards = k
+		sharded := run.MustExecute(w, cfg)
+		if !reflect.DeepEqual(base, sharded) {
+			t.Errorf("%s/%s: sharded (K=%d) and sequential results differ\nsequential: %+v\nsharded:    %+v",
+				w.Name, cfg.Mode, k, base, sharded)
+		}
+	}
+	return base
+}
+
+// TestShardedWorkloadDifferential runs the four paper workloads and the
+// four §6.2 forced-failure instances under SW and HW at every shard
+// count, batched and stepped.
+func TestShardedWorkloadDifferential(t *testing.T) {
+	ws := []*run.Workload{loops.Ocean(), loops.P3m(300), loops.Adm(), loops.Track()}
+	ws = append(ws, loops.ForcedFails(300)...)
+	for _, w := range ws {
+		for _, mode := range []run.Mode{run.SW, run.HW} {
+			cfg := run.Config{Procs: 4, Mode: mode, MaxExecutions: 2}
+			diffSharded(t, w, cfg)
+			if !testing.Short() {
+				cfg.NoFastPath = true
+				diffSharded(t, w, cfg)
+			}
+		}
+	}
+}
+
+// raceArchetypes builds run-level workloads forcing each §3.2 (Figure 7)
+// cross-processor race arm through the speculation hardware: a store
+// colliding with other processors' reads, colliding stores to one
+// element, and a read of data another processor has written. Each one
+// must fail identically — same detection cycle, same first failure — at
+// every shard count, because the window closure rule puts the
+// conflicting accesses in exactly the engine's order.
+func raceArchetypes() []*run.Workload {
+	mk := func(name string, body func(iter int, c *run.Ctx)) *run.Workload {
+		return &run.Workload{
+			Name:       name,
+			Executions: 2,
+			Iterations: func(int) int { return 16 },
+			Arrays: []run.ArraySpec{
+				{Name: "A", Elems: 128, ElemSize: 4, Test: core.NonPriv},
+			},
+			Body: func(_, iter int, c *run.Ctx) { body(iter, c) },
+		}
+	}
+	return []*run.Workload{
+		mk("race-store-vs-reads", func(iter int, c *run.Ctx) {
+			c.Compute(sim.Time(10 + 3*(iter%5)))
+			c.Load(0, 0) // every iteration reads element 0
+			if iter == 9 {
+				c.Store(0, 0) // ... which iteration 9 then writes
+			}
+			c.Load(0, 16+iter)
+		}),
+		mk("race-store-vs-store", func(iter int, c *run.Ctx) {
+			c.Compute(sim.Time(5 + 2*(iter%3)))
+			if iter == 3 || iter == 12 {
+				c.Store(0, 1) // two iterations on different processors collide
+			}
+			c.Store(0, 32+iter)
+		}),
+		mk("race-read-vs-store", func(iter int, c *run.Ctx) {
+			c.Compute(7)
+			if iter == 5 {
+				c.Store(0, 2)
+			} else {
+				c.Load(0, 2) // reads racing a lower-iteration write
+			}
+			c.Store(0, 64+iter)
+		}),
+	}
+}
+
+// TestShardedRaceArchetypeMatrix: the §3.2 race arms, sharded vs
+// sequential, in both HW (hardware detection aborts mid-run) and SW
+// (post-run LRPD verdicts) modes.
+func TestShardedRaceArchetypeMatrix(t *testing.T) {
+	for _, w := range raceArchetypes() {
+		for _, mode := range []run.Mode{run.SW, run.HW} {
+			res := diffSharded(t, w, run.Config{Procs: 4, Mode: mode})
+			if mode == run.HW && res.Failures == 0 {
+				t.Errorf("%s: expected hardware-detected failures, got none", w.Name)
+			}
+		}
+	}
+}
+
+// TestShardedForcedParallelCohorts drives the concurrent cohort path —
+// same-cycle classified-pure steps from different shards executing on
+// separate goroutines — even on a single-CPU host, and requires the
+// result to stay byte-identical. Lockstep compute keeps the processors
+// due on the same cycles, maximizing cohort formation; this is also the
+// test the race-detector CI job leans on.
+func TestShardedForcedParallelCohorts(t *testing.T) {
+	prev := run.ForceParallelWindows
+	run.ForceParallelWindows = true
+	defer func() { run.ForceParallelWindows = prev }()
+
+	w := &run.Workload{
+		Name:       "lockstep-cohorts",
+		Executions: 2,
+		Iterations: func(int) int { return 64 },
+		Arrays: []run.ArraySpec{
+			{Name: "A", Elems: 512, ElemSize: 4, Test: core.NonPriv},
+		},
+		Body: func(_, iter int, c *run.Ctx) {
+			// Identical per-iteration cost: all processors step in
+			// lockstep, so every cycle with runnable processors forms a
+			// cohort candidate.
+			for k := 0; k < 6; k++ {
+				c.Compute(8)
+				c.Load(0, iter)
+			}
+			c.Store(0, iter)
+		},
+	}
+	before := cpu.CohortRounds()
+	for _, mode := range []run.Mode{run.SW, run.HW} {
+		diffSharded(t, w, run.Config{Procs: 8, Mode: mode})
+	}
+	diffSharded(t, loops.Ocean(), run.Config{Procs: 8, Mode: run.HW, MaxExecutions: 2})
+	if cpu.CohortRounds() == before {
+		t.Fatalf("no concurrent cohort rounds ran: the parallel path was never exercised")
+	}
+}

@@ -99,6 +99,9 @@ func TestSubmitBadRequests(t *testing.T) {
 		{"bad policy", JobRequest{Workload: "Track", Mode: "hw", Procs: 4, Policy: "magic"}},
 		{"bad director", JobRequest{Workload: "Track", Mode: "hw", Procs: 4, Policy: "adaptive", Director: "oracle"}},
 		{"director without policy", JobRequest{Workload: "Track", Mode: "hw", Procs: 4, Director: "threshold"}},
+		{"negative shards", JobRequest{Workload: "Track", Mode: "hw", Procs: 4, Shards: -1}},
+		{"shards beyond procs", JobRequest{Workload: "Track", Mode: "hw", Procs: 4, Shards: 8}},
+		{"non-power-of-two mesh shards", JobRequest{Workload: "Track", Mode: "hw", Procs: 16, Topology: "mesh", Shards: 3}},
 		{"not json", "]"},
 	}
 	for _, tc := range cases {
@@ -232,6 +235,38 @@ func TestByteIdenticalWithLocal(t *testing.T) {
 	}
 	if !bytes.Equal(remote, local) {
 		t.Fatalf("server and local bytes differ:\nserver: %s\nlocal:  %s", remote, local)
+	}
+}
+
+// TestShardedJobByteIdentical: a job that asks for the sharded executor
+// returns exactly the bytes the engine-only executor produces — shards
+// change wall-clock, never results.
+func TestShardedJobByteIdentical(t *testing.T) {
+	s := New(Options{Scale: harness.Quick})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := &Client{BaseURL: ts.URL, Tenant: "test", PollInterval: 2 * time.Millisecond}
+
+	base := JobRequest{Workload: "Ocean", Mode: "hw", Procs: 4}
+	var want []byte
+	for _, shards := range []int{0, 2, 4} {
+		req := base
+		req.Shards = shards
+		sub, err := cl.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cl.WaitResult(sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shards == 0 {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("shards=%d report differs from engine-only:\nsharded:  %s\nbaseline: %s", shards, got, want)
+		}
 	}
 }
 

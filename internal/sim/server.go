@@ -17,10 +17,14 @@ type Server struct {
 
 	// ends is the optional depth-tracking ring (see TrackDepth): the
 	// service-end times of transactions still in the system, oldest at
-	// head. Nil until TrackDepth is called.
-	ends []Time
-	head int
-	n    int
+	// head. The ring is materialized on the first tracked arrival, not
+	// in TrackDepth itself: a wide machine declares tracking on every
+	// home node and mesh link, but most of those servers never see a
+	// transaction, and eagerly allocated rings dominated run setup.
+	ends    []Time
+	ringCap int // requested capacity; 0 = tracking disabled
+	head    int
+	n       int
 
 	// Accumulated statistics.
 	BusyCycles Time   // total cycles spent in service
@@ -37,7 +41,7 @@ type Server struct {
 }
 
 // TrackDepth enables exact queue-depth accounting with a ring of capacity
-// entries, allocated here — never in Acquire. If more than capacity
+// entries, allocated on the first tracked arrival. If more than capacity
 // transactions are ever in the system at once the count saturates (the
 // oldest entry is retired early); timing is unaffected. Calling TrackDepth
 // again resizes and clears the ring.
@@ -45,7 +49,8 @@ func (s *Server) TrackDepth(capacity int) {
 	if capacity <= 0 {
 		panic("sim: TrackDepth needs a positive capacity")
 	}
-	s.ends = make([]Time, capacity)
+	s.ringCap = capacity
+	s.ends = nil
 	s.head, s.n = 0, 0
 }
 
@@ -62,7 +67,7 @@ func (s *Server) Acquire(now Time, occ Time) (start Time) {
 	s.BusyCycles += occ
 	s.busyUntil = start + occ
 	s.Requests++
-	if s.ends != nil {
+	if s.ringCap > 0 {
 		s.trackArrival(now, start+occ)
 	}
 	return start
@@ -73,6 +78,9 @@ func (s *Server) Acquire(now Time, occ Time) (start Time) {
 // are pushed in nondecreasing end order (each new end is at least the
 // previous busyUntil), so retiring from the head is exact.
 func (s *Server) trackArrival(now, end Time) {
+	if s.ends == nil {
+		s.ends = make([]Time, s.ringCap)
+	}
 	for s.n > 0 && s.ends[s.head] <= now {
 		s.head++
 		if s.head == len(s.ends) {
@@ -127,8 +135,8 @@ func (s *Server) Wait(now Time) Time {
 // Reset clears the server's queue state and statistics, keeping any
 // depth-tracking ring enabled.
 func (s *Server) Reset() {
-	ends := s.ends
-	*s = Server{ends: ends}
+	ends, ringCap := s.ends, s.ringCap
+	*s = Server{ends: ends, ringCap: ringCap}
 }
 
 // BusyUntilTime exposes the current end of the busy period (for tests).

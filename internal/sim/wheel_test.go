@@ -29,13 +29,18 @@ func runRandomSchedule(e *Engine, seed int64) []int {
 			id := next
 			next++
 			var delay Time
-			switch rng.Intn(10) {
+			switch rng.Intn(11) {
 			case 0, 1, 2, 3:
 				delay = Time(rng.Intn(4)) // same-cycle ties and tiny steps
 			case 4, 5, 6:
 				delay = Time(rng.Intn(l0Size * 2)) // level 0 and the cascade edge
 			case 7, 8:
 				delay = Time(rng.Intn(wheelHorizon + l0Size)) // level 1 and just past it
+			case 9:
+				// Exact boundaries: the L0/L1 edge and the wheel horizon
+				// are off-by-one habitats the uniform arms rarely hit.
+				edges := [...]Time{l0Size - 1, l0Size, l0Size + 1, wheelHorizon - 1, wheelHorizon, wheelHorizon + 1}
+				delay = edges[rng.Intn(len(edges))]
 			default:
 				delay = Time(wheelHorizon + rng.Intn(1<<20)) // far future: heap
 			}
@@ -137,6 +142,96 @@ func TestPeekTime(t *testing.T) {
 	e.Run()
 	if e.Now() != wheelHorizon+50 {
 		t.Fatalf("Now = %d after Run", e.Now())
+	}
+}
+
+// TestWheelCascadeBoundaries pins the L0/L1 cascade edges with exact
+// timestamps: the last level-0 slot, the first and last slot of a
+// level-1 epoch, and the two sides of the wheel horizon. Each engine
+// gets the identical schedule; the wheel must reproduce the pure heap's
+// execution order and final clock.
+func TestWheelCascadeBoundaries(t *testing.T) {
+	schedule := func(e *Engine) []Time {
+		var ran []Time
+		rec := func(at Time) func() { return func() { ran = append(ran, at) } }
+		for _, at := range []Time{
+			l0Size - 1,       // last level-0 slot of the anchor epoch
+			l0Size,           // first slot of the first level-1 epoch
+			l0Size + 1,       // second slot, same bucket
+			2*l0Size - 1,     // last slot of that epoch
+			2 * l0Size,       // first slot of the next epoch
+			wheelHorizon - 1, // last time inside the wheel window
+			wheelHorizon,     // first time beyond it: heap
+			wheelHorizon + 1, // heap
+			wheelHorizon - 1, // duplicate timestamp: seq breaks the tie
+			l0Size,           // duplicate at the cascade edge
+			0,                // now itself
+		} {
+			e.At(at, rec(at))
+		}
+		e.Run()
+		return ran
+	}
+	fast, ref := NewEngine(), NewEngine()
+	ref.DisableWheel()
+	got, want := schedule(fast), schedule(ref)
+	if len(got) != len(want) {
+		t.Fatalf("wheel ran %d events, pure heap %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("order diverges at event %d: wheel ran t=%d, pure heap t=%d\nwheel: %v\nheap:  %v",
+				i, got[i], want[i], got, want)
+		}
+	}
+	if fast.Now() != ref.Now() {
+		t.Fatalf("final clock diverges: wheel %d, pure heap %d", fast.Now(), ref.Now())
+	}
+}
+
+// TestWheelEpochWrap drives the level-1 bucket ring around its wrap
+// point: after a cascade anchors the window at a nonzero epoch, events
+// in epochs past l1Size map to low bucket indices again, and the
+// circular occupancy scan must still yield increasing epoch order.
+func TestWheelEpochWrap(t *testing.T) {
+	schedule := func(e *Engine) []Time {
+		var ran []Time
+		rec := func(at Time) func() { return func() { ran = append(ran, at) } }
+		// A lone pacer at epoch 5 forces a cascade on its pop, anchoring
+		// the window there; epochs up to 5+63 are then wheel-eligible and
+		// epochs >= l1Size wrap the bucket ring.
+		pacer := Time(5 * l0Size)
+		e.At(pacer, rec(pacer))
+		e.Step()
+		base := Time(0)
+		for _, at := range []Time{
+			(l1Size + 3) * l0Size,          // epoch 67: bucket 3, second ring pass
+			6*l0Size + 7,                   // epoch 6: bucket 6, first pass
+			l1Size * l0Size,                // epoch 64: bucket 0, exactly at the wrap
+			(l1Size-1)*l0Size + l0Size - 1, // epoch 63: last bucket of the first pass
+			(l1Size + 4) * l0Size,          // epoch 68: last epoch inside the horizon
+			l1Size*l0Size - 1,              // epoch 63 again: same bucket, earlier slot
+			pacer + 1,                      // epoch 5: the anchor epoch itself
+		} {
+			e.At(base+at, rec(base+at))
+		}
+		e.Run()
+		return ran
+	}
+	fast, ref := NewEngine(), NewEngine()
+	ref.DisableWheel()
+	got, want := schedule(fast), schedule(ref)
+	if len(got) != len(want) {
+		t.Fatalf("wheel ran %d events, pure heap %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("order diverges at event %d: wheel ran t=%d, pure heap t=%d\nwheel: %v\nheap:  %v",
+				i, got[i], want[i], got, want)
+		}
+	}
+	if fast.Now() != ref.Now() {
+		t.Fatalf("final clock diverges: wheel %d, pure heap %d", fast.Now(), ref.Now())
 	}
 }
 
